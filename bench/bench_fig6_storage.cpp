@@ -1,0 +1,106 @@
+// Figure 6 — Required cloud storage for the files and their logs.
+//
+// Paper workload (§6.2): files of 1..50 MB updated 1, 10 and 100 times, each
+// update appending 30% of the file's ORIGINAL size. Reported: total bytes in
+// the cloud storage services without log entries vs with them. Expectations:
+//   * the file alone occupies ~2x its size (DepSky CA erasure coding, n=4 k=2)
+//   * 1 log entry adds only the delta (~0.6x of the original size in cloud bytes)
+//   * at 10 versions the log exceeds the file itself
+//   * 100 versions: ~60 MB (1 MB file) up to ~3 GB (50 MB file) of log
+//   * growth is linear in the number of versions
+// The paper also gives the closed-form estimate s_n = 2(s_{n-1} + delta *
+// s_{n-1}) (eq. 1), which we print alongside.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rockfs::bench {
+namespace {
+
+struct Cell {
+  double file_mb = 0;   // cloud bytes of the file itself ("without log")
+  double total_mb = 0;  // file + log entries ("with log")
+};
+
+std::uint64_t cloud_bytes(core::Deployment& dep, const std::string& prefix) {
+  std::uint64_t total = 0;
+  const auto tokens = dep.admin_tokens();
+  for (std::size_t i = 0; i < dep.clouds().size(); ++i) {
+    auto listed = dep.clouds()[i]->list(tokens[i], prefix);
+    if (!listed.value.ok()) continue;
+    for (const auto& s : *listed.value) total += s.size;
+  }
+  return total;
+}
+
+Cell run_cell(std::size_t size_mb, int versions) {
+  auto dep = make_deployment(true, scfs::SyncMode::kBlocking,
+                             6000 + size_mb * 131 + static_cast<std::uint64_t>(versions));
+  auto& agent = dep.add_user("alice");
+  Rng rng(size_mb * 7 + static_cast<std::uint64_t>(versions));
+
+  const std::size_t base = size_mb << 20;
+  const std::size_t extra = base * 3 / 10;
+  create_file(agent, "/f.dat", base, rng);
+  for (int v = 0; v < versions; ++v) {
+    auto fd = agent.open("/f.dat");
+    fd.expect("open");
+    // Each update appends 30% of the ORIGINAL size (paper: "a file with
+    // 10MB was updated with more 3MB every time").
+    agent.append(*fd, rng.next_bytes(extra)).expect("append");
+    agent.close(*fd).expect("close");
+  }
+  agent.drain_background();
+
+  Cell cell;
+  cell.file_mb = static_cast<double>(cloud_bytes(dep, "files/")) / (1 << 20);
+  cell.total_mb = static_cast<double>(cloud_bytes(dep, "")) / (1 << 20);
+  return cell;
+}
+
+// Closed-form estimate in the spirit of the paper's eq. 1 (delta = 30% of
+// the original size, everything at 2x in the clouds due to erasure coding):
+// file 2*(s + v*0.3s), plus the log: the creation entry (whole file, 2s)
+// and one 0.6s delta per update.
+double eq1_total_mb(std::size_t size_mb, int versions) {
+  const double s = static_cast<double>(size_mb);
+  const double file = 2 * (s + static_cast<double>(versions) * 0.3 * s);
+  const double log = 2 * s + static_cast<double>(versions) * 0.6 * s;
+  return file + log;
+}
+
+void run(const BenchArgs& args) {
+  const std::vector<std::size_t> sizes = args.quick
+                                             ? std::vector<std::size_t>{1, 10}
+                                             : std::vector<std::size_t>{1, 10, 25, 50};
+  std::vector<int> version_counts{1, 10};
+  if (args.full) version_counts.push_back(100);
+
+  std::printf("Figure 6: cloud storage for files and logs (MB)\n");
+  std::printf("paper: file alone ~2x its size; 10-version log exceeds the file; "
+              "100 versions: 60MB (1MB file) .. ~3GB (50MB file)\n");
+  print_header("Fig. 6",
+               {"size (MB)", "versions", "file only", "log only", "file+log", "eq.1 est"});
+  for (const std::size_t mb : sizes) {
+    for (const int v : version_counts) {
+      if (!args.full && v * mb > 500) continue;  // keep default runtime sane
+      const Cell c = run_cell(mb, v);
+      std::printf("%14zu%14d%14.1f%14.1f%14.1f%14.1f\n", mb, v, c.file_mb,
+                  c.total_mb - c.file_mb, c.total_mb, eq1_total_mb(mb, v));
+    }
+  }
+  if (!args.full) {
+    std::printf("(run with --full for the 100-version cells; the estimate gives "
+                "1MB x100 = %.0f MB total, 50MB x100 = %.0f MB total — the paper "
+                "quotes ~60MB and ~3GB for the log alone)\n",
+                eq1_total_mb(1, 100), eq1_total_mb(50, 100));
+  }
+}
+
+}  // namespace
+}  // namespace rockfs::bench
+
+int main(int argc, char** argv) {
+  rockfs::bench::run(rockfs::bench::BenchArgs::parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Substrate micro-benchmarks (google-benchmark, REAL time): throughput of
+// the cryptographic and coding primitives every RockFS operation is built
+// from. Not a paper figure — these bound where the client-side CPU time goes
+// and back the DESIGN.md §5 calibration.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/signature.h"
+#include "diff/binary_diff.h"
+#include "erasure/reed_solomon.h"
+#include "fssagg/fssagg.h"
+#include "secretshare/shamir.h"
+
+namespace rockfs {
+namespace {
+
+Bytes make_data(std::size_t n) {
+  Rng rng(42);
+  return rng.next_bytes(n);
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4 << 10)->Arg(1 << 20);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha512(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(1 << 20);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(1 << 20);
+
+void BM_Aes256Ctr(benchmark::State& state) {
+  const Bytes key(32, 0x22);
+  const Bytes iv(16, 0x01);
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::aes256_ctr(key, iv, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Aes256Ctr)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_SealOpen(benchmark::State& state) {
+  const Bytes key(32, 0x33);
+  const Bytes iv(16, 0x02);
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const Bytes box = crypto::seal(key, data, {}, iv);
+    benchmark::DoNotOptimize(crypto::open_sealed(key, box, {}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                          2);
+}
+BENCHMARK(BM_SealOpen)->Arg(1 << 20);
+
+void BM_RsEncode_2of4(benchmark::State& state) {
+  const erasure::ReedSolomon rs(2, 4);
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(rs.encode(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RsEncode_2of4)->Arg(1 << 20);
+
+void BM_RsDecodeFromParity_2of4(benchmark::State& state) {
+  const erasure::ReedSolomon rs(2, 4);
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  auto shards = rs.encode(data);
+  const std::vector<erasure::Shard> parity{shards[2], shards[3]};
+  for (auto _ : state) benchmark::DoNotOptimize(rs.decode(parity, data.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RsDecodeFromParity_2of4)->Arg(1 << 20);
+
+void BM_DiffAppend30(benchmark::State& state) {
+  const Bytes base = make_data(static_cast<std::size_t>(state.range(0)));
+  Bytes updated = base;
+  append(updated, make_data(static_cast<std::size_t>(state.range(0)) * 3 / 10));
+  for (auto _ : state) benchmark::DoNotOptimize(diff::encode(base, updated));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DiffAppend30)->Arg(1 << 20);
+
+void BM_Patch(benchmark::State& state) {
+  const Bytes base = make_data(static_cast<std::size_t>(state.range(0)));
+  Bytes updated = base;
+  append(updated, make_data(static_cast<std::size_t>(state.range(0)) * 3 / 10));
+  const Bytes delta = diff::encode(base, updated);
+  for (auto _ : state) benchmark::DoNotOptimize(diff::patch(base, delta));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Patch)->Arg(1 << 20);
+
+void BM_FssAggAppend(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("bench"));
+  fssagg::FssAggSigner signer(fssagg::fssagg_keygen(drbg));
+  const Bytes entry = make_data(256);
+  for (auto _ : state) benchmark::DoNotOptimize(signer.append(entry));
+}
+BENCHMARK(BM_FssAggAppend);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("bench"));
+  const crypto::KeyPair kp = crypto::generate_keypair(drbg);
+  const Bytes msg = make_data(256);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sign(kp, msg));
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("bench"));
+  const crypto::KeyPair kp = crypto::generate_keypair(drbg);
+  const Bytes msg = make_data(256);
+  const Bytes sig = crypto::sign(kp, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ShamirShareCombine(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("bench"));
+  const Bytes secret = drbg.generate(32);
+  for (auto _ : state) {
+    auto shares = secretshare::shamir_share(secret, 2, 4, drbg);
+    shares.resize(2);
+    benchmark::DoNotOptimize(secretshare::shamir_combine(shares, 2));
+  }
+}
+BENCHMARK(BM_ShamirShareCombine);
+
+}  // namespace
+}  // namespace rockfs
+
+BENCHMARK_MAIN();

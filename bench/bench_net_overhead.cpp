@@ -1,0 +1,113 @@
+// §6.4 — Network overhead models, measured against the simulator's traffic
+// accounting.
+//
+//   eq. 2 (logging):    sigma = (t + delta*t) * n / 2
+//     paper examples (delta=30%, n=4): 1 MB -> 3 MB, 50 MB -> 130 MB uploaded
+//   eq. 3 (recovering): sigma = (t + delta*t*v) * n / 2
+//     paper examples: 1 MB, 1 version -> 3 MB; 50 MB, 100 versions -> 3.1 GB
+//     (at ~$0.09/GB egress: ~27 cents for the latter, <1 cent for the former)
+//
+// We run the real pipelines and compare measured bytes with the model.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rockfs::bench {
+namespace {
+
+constexpr double kDelta = 0.3;
+constexpr double kClouds = 4;
+constexpr double kEgressUsdPerGb = 0.09;  // S3 pricing as of the paper (Apr 2018)
+
+double eq2_upload_mb(double t_mb) { return (t_mb + kDelta * t_mb) * kClouds / 2; }
+double eq3_download_mb(double t_mb, int versions) {
+  return (t_mb + kDelta * t_mb * versions) * kClouds / 2;
+}
+
+std::uint64_t uploaded(core::Deployment& dep) {
+  std::uint64_t total = 0;
+  for (auto& c : dep.clouds()) total += c->traffic().uploaded_bytes();
+  return total;
+}
+std::uint64_t downloaded(core::Deployment& dep) {
+  std::uint64_t total = 0;
+  for (auto& c : dep.clouds()) total += c->traffic().downloaded_bytes();
+  return total;
+}
+
+void reset_traffic(core::Deployment& dep) {
+  for (auto& c : dep.clouds()) c->traffic().reset();
+}
+
+void run(const BenchArgs& args) {
+  std::printf("Network overhead models (paper §6.4), delta=30%%, n=4 clouds\n");
+
+  // ---- eq. 2: upload traffic of one logged update ----
+  print_header("eq. 2 — upload per logged update",
+               {"size (MB)", "model (MB)", "measured (MB)"});
+  const std::vector<std::size_t> sizes =
+      args.quick ? std::vector<std::size_t>{1, 10} : std::vector<std::size_t>{1, 10, 50};
+  for (const std::size_t mb : sizes) {
+    auto dep = make_deployment(true, scfs::SyncMode::kBlocking, 4321 + mb);
+    auto& agent = dep.add_user("alice");
+    Rng rng(mb);
+    create_file(agent, "/f", mb << 20, rng);
+    agent.drain_background();
+    reset_traffic(dep);
+    // The measured operation: one +30% update (file re-upload + log delta).
+    auto fd = agent.open("/f");
+    fd.expect("open");
+    agent.append(*fd, rng.next_bytes((mb << 20) * 3 / 10)).expect("append");
+    agent.close(*fd).expect("close");
+    agent.drain_background();
+    const double measured = static_cast<double>(uploaded(dep)) / (1 << 20);
+    std::printf("%14zu%14.1f%14.1f\n", mb, eq2_upload_mb(1.3 * static_cast<double>(mb)),
+                measured);
+  }
+  std::printf("note: the model charges the updated file (t+delta*t) once plus the "
+              "delta log entry; paper quotes 1MB->3MB, 50MB->130MB\n");
+
+  // ---- eq. 3: download traffic of recovering a file ----
+  print_header("eq. 3 — download per recovery",
+               {"size (MB)", "versions", "model (MB)", "measured (MB)", "cost ($)"});
+  struct Cell {
+    std::size_t mb;
+    int versions;
+  };
+  const std::vector<Cell> cells = args.quick
+                                      ? std::vector<Cell>{{1, 1}, {5, 10}}
+                                      : std::vector<Cell>{{1, 1}, {10, 10}, {50, 10}};
+  for (const Cell& cell : cells) {
+    auto dep = make_deployment(true, scfs::SyncMode::kBlocking,
+                               5321 + cell.mb * 3 + static_cast<std::uint64_t>(cell.versions));
+    auto& agent = dep.add_user("alice");
+    Rng rng(cell.mb);
+    create_file(agent, "/f", cell.mb << 20, rng);
+    for (int v = 1; v < cell.versions; ++v) {
+      auto fd = agent.open("/f");
+      fd.expect("open");
+      agent.append(*fd, rng.next_bytes((cell.mb << 20) * 3 / 10)).expect("append");
+      agent.close(*fd).expect("close");
+    }
+    agent.drain_background();
+    const auto attack = core::ransomware_attack(agent, {"/f"}, 3);
+    reset_traffic(dep);
+    auto recovery = dep.make_recovery_service("alice");
+    recovery.recover_file("/f", attack.malicious_seqs).expect("recover");
+    const double measured = static_cast<double>(downloaded(dep)) / (1 << 20);
+    const double model = eq3_download_mb(static_cast<double>(cell.mb), cell.versions);
+    std::printf("%14zu%14d%14.1f%14.1f%14.4f\n", cell.mb, cell.versions, model, measured,
+                measured / 1024 * kEgressUsdPerGb);
+  }
+  std::printf("paper: 1MB/1v -> 3MB (<1 cent); 50MB/100v -> 3.1GB (~27 cents)\n");
+  std::printf("model at 50MB/100v: %.1f MB -> $%.2f\n", eq3_download_mb(50, 100),
+              eq3_download_mb(50, 100) / 1024 * kEgressUsdPerGb);
+}
+
+}  // namespace
+}  // namespace rockfs::bench
+
+int main(int argc, char** argv) {
+  rockfs::bench::run(rockfs::bench::BenchArgs::parse(argc, argv));
+  return 0;
+}

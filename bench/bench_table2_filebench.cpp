@@ -1,0 +1,94 @@
+// Table 2 — FileBench micro-benchmark latencies for SCFS and RockFS.
+//
+// The paper runs two FileBench profiles against both systems in non-blocking
+// (NB) and blocking (B) modes:
+//   write   1 op,    4 MB  — sequential write of a whole file, then close
+//   create  200 ops, 16 KB — create 200 small files
+//
+// Paper (seconds):            SCFS-NB  SCFS-B  RockFS-NB  RockFS-B   NB / B ovh
+//   write  (1 x 4MB)            1.63    1.71      1.90       2.12     17% / 24%
+//   create (200 x 16KB)       197.60  236.76    219.00     298.20     11% / 26%
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rockfs::bench {
+namespace {
+
+double run_write_profile(bool logging, scfs::SyncMode mode, int reps) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto dep = make_deployment(logging, mode, 4200 + static_cast<std::uint64_t>(rep));
+    auto& agent = dep.add_user("alice");
+    Rng rng(static_cast<std::uint64_t>(rep) + 1);
+    const auto start = dep.clock()->now_us();
+    // FileBench "sequential write": one 4MB file written and synced.
+    auto fd = agent.create("/fb/seqwrite.dat");
+    fd.expect("create");
+    agent.write(*fd, 0, rng.next_bytes(4 << 20)).expect("write");
+    agent.close(*fd).expect("close");
+    agent.drain_background();  // workload latency includes the sync
+    samples.push_back(static_cast<double>(dep.clock()->now_us() - start) / 1e6);
+  }
+  return mean(samples);
+}
+
+double run_create_profile(bool logging, scfs::SyncMode mode, int reps, int files) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto dep = make_deployment(logging, mode, 9900 + static_cast<std::uint64_t>(rep));
+    auto& agent = dep.add_user("alice");
+    Rng rng(static_cast<std::uint64_t>(rep) + 7);
+    const auto start = dep.clock()->now_us();
+    for (int i = 0; i < files; ++i) {
+      auto fd = agent.create("/fb/create/f" + std::to_string(i));
+      fd.expect("create");
+      agent.write(*fd, 0, rng.next_bytes(16 << 10)).expect("write");
+      agent.close(*fd).expect("close");
+    }
+    agent.drain_background();
+    samples.push_back(static_cast<double>(dep.clock()->now_us() - start) / 1e6);
+  }
+  return mean(samples);
+}
+
+void run(const BenchArgs& args) {
+  const int files = args.quick ? 20 : 200;
+  std::printf("Table 2: FileBench micro-benchmark latency (seconds, virtual time)\n");
+  std::printf("paper reference: write 1.63/1.71 -> 1.90/2.12 (17%%/24%%), "
+              "create 197.6/236.8 -> 219.0/298.2 (11%%/26%%)\n");
+  print_header("Table 2",
+               {"profile", "SCFS NB", "SCFS B", "RockFS NB", "RockFS B", "ovh NB", "ovh B"});
+
+  struct Row {
+    const char* name;
+    double scfs_nb, scfs_b, rock_nb, rock_b;
+  };
+  Row rows[2];
+  rows[0] = {"write 4MB",
+             run_write_profile(false, scfs::SyncMode::kNonBlocking, args.reps),
+             run_write_profile(false, scfs::SyncMode::kBlocking, args.reps),
+             run_write_profile(true, scfs::SyncMode::kNonBlocking, args.reps),
+             run_write_profile(true, scfs::SyncMode::kBlocking, args.reps)};
+  rows[1] = {"create 16KB",
+             run_create_profile(false, scfs::SyncMode::kNonBlocking, args.reps, files),
+             run_create_profile(false, scfs::SyncMode::kBlocking, args.reps, files),
+             run_create_profile(true, scfs::SyncMode::kNonBlocking, args.reps, files),
+             run_create_profile(true, scfs::SyncMode::kBlocking, args.reps, files)};
+
+  for (const Row& r : rows) {
+    std::printf("%14s%14.2f%14.2f%14.2f%14.2f%13.0f%%%13.0f%%\n", r.name, r.scfs_nb,
+                r.scfs_b, r.rock_nb, r.rock_b, (r.rock_nb / r.scfs_nb - 1) * 100,
+                (r.rock_b / r.scfs_b - 1) * 100);
+  }
+  std::printf("(create profile uses %d files%s)\n", files,
+              args.quick ? " — quick mode" : "");
+}
+
+}  // namespace
+}  // namespace rockfs::bench
+
+int main(int argc, char** argv) {
+  rockfs::bench::run(rockfs::bench::BenchArgs::parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared plumbing for the paper-reproduction benchmarks: deployment
+// construction, workload generators, simple statistics and aligned table
+// printing. Every figure/table bench runs on VIRTUAL time (sim::SimClock),
+// so results are deterministic and independent of the host machine; see
+// DESIGN.md §5 for the calibration against the paper's AWS/GCE testbed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "rockfs/attack.h"
+#include "rockfs/deployment.h"
+
+namespace rockfs::bench {
+
+/// Command-line knobs shared by all benches.
+struct BenchArgs {
+  int reps = 2;       // repetitions per cell (paper used 10; determinism makes more redundant)
+  bool full = false;  // run the heaviest paper cells too
+  bool quick = false; // CI-sized sweep
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--full") args.full = true;
+      if (a == "--quick") args.quick = true;
+      if (a == "--reps" && i + 1 < argc) args.reps = std::atoi(argv[++i]);
+    }
+    return args;
+  }
+};
+
+inline double mean(const std::vector<double>& xs) {
+  double s = 0;
+  for (const double x : xs) s += x;
+  return xs.empty() ? 0.0 : s / static_cast<double>(xs.size());
+}
+
+inline double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/// Fresh deployment configured for one benchmark cell.
+inline core::Deployment make_deployment(bool rockfs_logging, scfs::SyncMode mode,
+                                        std::uint64_t seed) {
+  set_log_level(LogLevel::kError);  // keep bench tables clean
+  core::DeploymentOptions opts;
+  opts.seed = seed;
+  opts.agent.enable_logging = rockfs_logging;
+  opts.agent.enable_cache_crypto = rockfs_logging;
+  opts.agent.sync_mode = mode;
+  return core::Deployment(opts);
+}
+
+/// Writes a fresh file of `size` bytes through the agent (one logged close).
+inline void create_file(core::RockFsAgent& agent, const std::string& path,
+                        std::size_t size, Rng& rng) {
+  agent.write_file(path, rng.next_bytes(size)).expect("bench create_file");
+}
+
+/// Appends ~30% of the file's current size (the paper's §6.1 update).
+inline void update_file_30pct(core::RockFsAgent& agent, const std::string& path,
+                              Rng& rng) {
+  auto fd = agent.open(path);
+  fd.expect("bench open");
+  auto st = agent.stat(path);
+  const std::size_t extra = std::max<std::size_t>(st.expect("stat").size * 3 / 10, 1);
+  agent.append(*fd, rng.next_bytes(extra)).expect("bench append");
+  agent.close(*fd).expect("bench close");
+}
+
+/// Header + row printers for paper-style tables.
+inline void print_header(const char* title, const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title);
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) std::printf("%14s", "------------");
+  std::printf("\n");
+}
+
+inline void print_cell(const char* fmt, double v) { std::printf(fmt, v); }
+
+}  // namespace rockfs::bench

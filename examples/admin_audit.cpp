@@ -1,0 +1,74 @@
+// Administrator's view (paper §2.2): auditing file-system usage through the
+// log metadata in the coordination service, verifying the forward-secure
+// stream, and demonstrating that log tampering — even at the coordination
+// replicas themselves — is detected.
+//
+//   $ ./examples/admin_audit
+#include <cstdio>
+
+#include "rockfs/deployment.h"
+
+using namespace rockfs;
+
+namespace {
+
+void print_audit(const core::LogAudit& audit) {
+  std::printf("  %-4s %-8s %-18s %-4s %-10s %s\n", "seq", "op", "path", "ver", "bytes",
+              "payload");
+  for (const auto& r : audit.records) {
+    std::printf("  %-4llu %-8s %-18s %-4llu %-10llu %s\n",
+                static_cast<unsigned long long>(r.seq), r.op.c_str(), r.path.c_str(),
+                static_cast<unsigned long long>(r.version),
+                static_cast<unsigned long long>(r.payload_size),
+                r.whole_file ? "whole-file" : "delta");
+  }
+  std::printf("  stream integrity: %s", audit.report.ok ? "VERIFIED" : "VIOLATED");
+  if (!audit.report.corrupt_entries.empty()) {
+    std::printf(" (%zu corrupt entries discarded)", audit.report.corrupt_entries.size());
+  }
+  if (audit.report.count_mismatch) std::printf(" [entry count mismatch]");
+  if (audit.report.aggregate_mismatch) std::printf(" [aggregate mismatch]");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RockFS administrator audit walk-through\n");
+  std::printf("=======================================\n\n");
+
+  core::Deployment deployment;
+  auto& alice = deployment.add_user("alice");
+  alice.write_file("/notes.txt", to_bytes("day 1\n")).expect("w1");
+  alice.write_file("/notes.txt", to_bytes("day 1\nday 2\n")).expect("w2");
+  alice.write_file("/todo.txt", to_bytes("- reproduce RockFS\n")).expect("w3");
+  alice.unlink("/todo.txt").expect("rm");
+
+  auto recovery = deployment.make_recovery_service("alice");
+
+  std::printf("clean audit of alice's activity:\n");
+  auto audit = recovery.audit_log();
+  print_audit(audit.expect("audit"));
+
+  // Now simulate an attacker who somehow rewrote a log tuple at EVERY
+  // coordination replica (stronger than the BFT model allows). The FssAgg
+  // chain still exposes the manipulation.
+  std::printf("\ntampering with log record #1 at all replicas...\n");
+  auto records = core::read_log_records(*deployment.coordination(), "alice");
+  auto tuple = (*records.value)[1].to_tuple();
+  for (std::size_t i = 0; i < deployment.coordination()->replica_count(); ++i) {
+    auto& replica = deployment.coordination()->replica(i);
+    coord::Template exact = coord::Template::of(
+        {tuple[0], tuple[1], tuple[2], "*", "*", "*", "*", "*", "*", "*", "*", "*"});
+    replica.inp(exact);
+    auto forged = tuple;
+    forged[7] = "31337";  // attacker rewrites the payload size
+    replica.out(forged);
+  }
+
+  auto audit2 = recovery.audit_log();
+  print_audit(audit2.expect("audit2"));
+  const bool detected = !audit2->report.ok;
+  std::printf("\nmanipulation detected: %s\n", detected ? "YES" : "NO");
+  return detected ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Fault-tolerance tour of the cloud-of-clouds substrate: provider outages,
+// Byzantine (lying) clouds, silent share corruption with proactive repair,
+// and Byzantine coordination replicas — everything the DepSky/DepSpace layer
+// absorbs before RockFS's client-side defenses even come into play.
+//
+//   $ ./examples/fault_tolerance_tour
+#include <cstdio>
+
+#include "common/rng.h"
+#include "rockfs/deployment.h"
+
+using namespace rockfs;
+
+int main() {
+  std::printf("RockFS fault-tolerance tour (n = 4 clouds, f = 1)\n");
+  std::printf("=================================================\n\n");
+
+  core::Deployment deployment;
+  auto& alice = deployment.add_user("alice");
+  Rng rng(2024);
+  const Bytes content = rng.next_bytes(64 << 10);
+  alice.write_file("/archive.bin", content).expect("write");
+  std::printf("wrote /archive.bin (64 KiB), erasure-coded 2-of-4 across clouds\n\n");
+
+  auto check = [&](const char* label) {
+    alice.fs().clear_cache();  // force a cloud read
+    auto r = alice.read_file("/archive.bin");
+    const bool ok = r.ok() && *r == content;
+    std::printf("  %-44s %s\n", label, ok ? "data intact" : "READ FAILED");
+    return ok;
+  };
+
+  std::printf("1. provider outage\n");
+  deployment.clouds()[0]->set_available(false);
+  check("cloud-0 down:");
+  deployment.clouds()[0]->set_available(true);
+
+  std::printf("\n2. Byzantine provider (returns plausible garbage)\n");
+  deployment.clouds()[1]->set_byzantine(true);
+  check("cloud-1 lying:");
+  deployment.clouds()[1]->set_byzantine(false);
+
+  std::printf("\n3. silent share corruption + proactive repair\n");
+  (void)deployment.clouds()[2]->corrupt_object("files/alice/archive.bin.v1.s2");
+  check("cloud-2 share corrupt:");
+  auto repaired = alice.fs().storage()->repair(alice.keystore().file_tokens,
+                                               "files/alice/archive.bin");
+  std::printf("  repair: %zu ok, %zu rebuilt\n", repaired.value.expect("repair").shares_ok,
+              repaired.value->shares_repaired);
+  check("after repair (margin restored):");
+
+  std::printf("\n4. Byzantine coordination replica\n");
+  deployment.coordination()->replica(3).set_byzantine(true);
+  check("replica-3 lying:");
+  alice.write_file("/archive2.bin", to_bytes("new data")).expect("write during fault");
+  std::printf("  writes (metadata quorum) also unaffected\n");
+  deployment.coordination()->replica(3).set_byzantine(false);
+
+  std::printf("\n5. beyond the fault bound (f+1 = 2 clouds down)\n");
+  deployment.clouds()[0]->set_available(false);
+  deployment.clouds()[1]->set_available(false);
+  alice.fs().clear_cache();
+  auto r = alice.read_file("/archive.bin");
+  std::printf("  read with 2/4 clouds down: %s (expected: unavailable, NOT wrong data)\n",
+              r.ok() ? "unexpectedly ok" : r.error().message.c_str());
+
+  std::printf("\nall failures within the f=1 bound were absorbed transparently.\n");
+  return 0;
+}

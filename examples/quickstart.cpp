@@ -1,0 +1,66 @@
+// Quickstart: bring up a simulated RockFS deployment (4 clouds + BFT
+// coordination service), provision a user, and run the basic file workflow —
+// every mutation is transparently logged for recovery.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "rockfs/deployment.h"
+
+using namespace rockfs;
+
+int main() {
+  std::printf("RockFS quickstart\n=================\n\n");
+
+  // A deployment mirrors the paper's testbed: n = 3f+1 = 4 cloud providers
+  // and 4 coordination-service replicas, all driven by one virtual clock.
+  core::Deployment deployment;
+  std::printf("deployment: %zu clouds, %zu coordination replicas (f=1)\n",
+              deployment.clouds().size(), deployment.coordination()->replica_count());
+
+  // add_user provisions everything from Table 1 of the paper: access tokens
+  // t_u and t_l at each cloud, the user keypair PR_U/PU_U, the FssAgg log
+  // keys, and the PVSS-sealed keystore (2-of-3: device, coordination
+  // service, external memory). The agent logs in with device+coordination.
+  auto& alice = deployment.add_user("alice");
+  std::printf("user 'alice' provisioned and logged in\n\n");
+
+  // Regular POSIX-style usage. close() is where everything happens:
+  // the file goes to the cloud-of-clouds (erasure-coded, encrypted), the
+  // local cache copy is sealed under the session key, and a log entry
+  // (binary delta, forward-secure MAC) is appended for later recovery.
+  auto fd = alice.create("/docs/report.txt");
+  fd.expect("create");
+  alice.write(*fd, 0, to_bytes("RockFS quarterly report, v1\n")).expect("write");
+  alice.close(*fd).expect("close");
+  std::printf("wrote /docs/report.txt (log entries so far: %llu)\n",
+              static_cast<unsigned long long>(alice.log_seq()));
+
+  // Updates produce compact delta log entries.
+  fd = alice.open("/docs/report.txt");
+  fd.expect("open");
+  alice.append(*fd, to_bytes("Q2 numbers: all green.\n")).expect("append");
+  alice.close(*fd).expect("close");
+  std::printf("updated /docs/report.txt (log entries so far: %llu)\n",
+              static_cast<unsigned long long>(alice.log_seq()));
+
+  auto content = alice.read_file("/docs/report.txt");
+  std::printf("\nread back:\n%s", to_string(content.expect("read")).c_str());
+
+  // What the administrator can see: the per-operation audit trail.
+  auto recovery = deployment.make_recovery_service("alice");
+  auto audit = recovery.audit_log();
+  std::printf("\naudit: %zu log records, stream integrity %s\n",
+              audit.expect("audit").records.size(),
+              audit->report.ok ? "VERIFIED" : "VIOLATED");
+  for (const auto& r : audit->records) {
+    std::printf("  #%llu %-7s %s v%llu (%s, %llu bytes)\n",
+                static_cast<unsigned long long>(r.seq), r.op.c_str(), r.path.c_str(),
+                static_cast<unsigned long long>(r.version),
+                r.whole_file ? "whole file" : "delta",
+                static_cast<unsigned long long>(r.payload_size));
+  }
+
+  std::printf("\nvirtual time elapsed: %.2f s\n", deployment.clock()->now_seconds());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ransomware scenario (the paper's headline use case, threats T1/A1):
+// an attacker with full control of the client device encrypts every file;
+// the damage syncs to the cloud-of-clouds; the administrator undoes it with
+// selective re-execution — including a legitimate edit made AFTER the attack,
+// which survives the recovery.
+//
+//   $ ./examples/ransomware_recovery
+#include <cstdio>
+
+#include "rockfs/attack.h"
+#include "rockfs/deployment.h"
+
+using namespace rockfs;
+
+int main() {
+  std::printf("RockFS ransomware recovery walk-through\n");
+  std::printf("=======================================\n\n");
+
+  core::Deployment deployment;
+  auto& alice = deployment.add_user("alice");
+
+  // -- Day 0: normal work ---------------------------------------------------
+  std::vector<std::string> paths;
+  for (int i = 0; i < 5; ++i) {
+    const std::string path = "/projects/doc" + std::to_string(i) + ".md";
+    alice.write_file(path, to_bytes("# Document " + std::to_string(i) +
+                                    "\nimportant content, version 1\n"))
+        .expect("write");
+    paths.push_back(path);
+  }
+  std::printf("alice wrote %zu files; log has %llu entries\n", paths.size(),
+              static_cast<unsigned long long>(alice.log_seq()));
+
+  // -- Day 1: the device is compromised ------------------------------------
+  const auto attack = core::ransomware_attack(alice, paths, /*attacker_seed=*/1337);
+  std::printf("\nRANSOMWARE: %zu files encrypted through the stolen session\n",
+              attack.files_encrypted);
+  std::printf("the damage is already in the clouds:\n");
+  auto mangled = alice.read_file(paths[0]);
+  std::printf("  %s now starts with %02x %02x %02x ... (ciphertext)\n", paths[0].c_str(),
+              (*mangled)[0], (*mangled)[1], (*mangled)[2]);
+
+  // The attacker also tries to destroy the recovery log (attack A2) — the
+  // append-only log token split stops every attempt.
+  const auto tamper = core::log_tamper_attack(deployment, "alice");
+  std::printf("attacker tried to destroy the log: %zu/%zu deletes denied, "
+              "%zu/%zu overwrites denied\n",
+              tamper.deletes_denied, tamper.delete_attempts, tamper.overwrites_denied,
+              tamper.overwrite_attempts);
+
+  // -- Day 1, later: a legitimate edit lands after the attack ---------------
+  alice.write_file(paths[4], to_bytes("# Document 4\nrewritten AFTER the attack — "
+                                      "this edit must survive recovery\n"))
+      .expect("post-attack write");
+
+  // -- Day 2: the administrator recovers ------------------------------------
+  auto recovery = deployment.make_recovery_service("alice");
+  auto audit = recovery.audit_log();
+  std::printf("\nadmin audit: %zu records, FssAgg chain %s\n",
+              audit.expect("audit").records.size(),
+              audit->report.ok ? "intact" : "TAMPERED");
+
+  // Intrusion detection flagged the attack's log entries (the paper takes
+  // this step as given); recover the most urgent file first.
+  auto results = recovery.recover_all(attack.malicious_seqs, /*priority=*/{paths[0]});
+  std::printf("recovered %zu files in %.1f virtual seconds:\n",
+              results.expect("recover").size(),
+              static_cast<double>(recovery.last_recovery_us()) / 1e6);
+  for (const auto& r : *results) {
+    std::printf("  %-20s applied=%zu skipped_malicious=%zu\n", r.path.c_str(), r.applied,
+                r.skipped_malicious);
+  }
+
+  // -- Aftermath ------------------------------------------------------------
+  std::printf("\nafter recovery:\n");
+  auto doc0 = alice.read_file(paths[0]);
+  std::printf("  %s: %s", paths[0].c_str(),
+              to_string(*doc0).substr(0, 60).c_str());
+  auto doc4 = alice.read_file(paths[4]);
+  const bool post_attack_survived =
+      to_string(*doc4).find("AFTER the attack") != std::string::npos;
+  std::printf("\n  %s: post-attack edit %s\n", paths[4].c_str(),
+              post_attack_survived ? "SURVIVED (selective re-execution)" : "LOST");
+  return post_attack_survived ? 0 : 1;
+}

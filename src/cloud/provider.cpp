@@ -1,0 +1,249 @@
+#include "cloud/provider.h"
+
+#include "crypto/hmac.h"
+
+namespace rockfs::cloud {
+
+namespace {
+bool is_log_key(const std::string& key) { return key.starts_with(kLogPrefix); }
+}  // namespace
+
+CloudProvider::CloudProvider(std::string name, sim::SimClockPtr clock,
+                             sim::LinkProfile profile, std::uint64_t seed)
+    : name_(std::move(name)),
+      clock_(clock),
+      net_(std::move(clock), std::move(profile), seed),
+      rng_(seed ^ 0x517CC1B727220A95ULL),
+      token_secret_(rng_.next_bytes(32)) {}
+
+AccessToken CloudProvider::issue_token(const std::string& user_id, const std::string& fs_id,
+                                       TokenScope scope, std::int64_t validity_us) {
+  AccessToken t;
+  t.user_id = user_id;
+  t.fs_id = fs_id;
+  t.scope = scope;
+  t.issued_us = clock_->now_us();
+  t.expires_us = validity_us == 0 ? 0 : clock_->now_us() + validity_us;
+  t.nonce = rng_.next_u64();
+  t.mac = crypto::hmac_sha256(token_secret_, t.signing_payload());
+  return t;
+}
+
+void CloudProvider::revoke_token(const AccessToken& token) {
+  revoked_nonces_.insert(token.nonce);
+}
+
+Status CloudProvider::check_token(const AccessToken& token) const {
+  const Bytes expected = crypto::hmac_sha256(token_secret_, token.signing_payload());
+  if (!ct_equal(expected, token.mac)) {
+    return {ErrorCode::kPermissionDenied, name_ + ": token MAC invalid"};
+  }
+  if (revoked_nonces_.contains(token.nonce)) {
+    return {ErrorCode::kPermissionDenied, name_ + ": token revoked"};
+  }
+  if (token.expires_us != 0 && clock_->now_us() > token.expires_us) {
+    return {ErrorCode::kExpired, name_ + ": token expired"};
+  }
+  return {};
+}
+
+Status CloudProvider::authorize(const AccessToken& token, const std::string& key,
+                                bool write, bool remove) const {
+  if (auto s = check_token(token); !s.ok()) return s;
+  const bool log_key = is_log_key(key);
+  switch (token.scope) {
+    case TokenScope::kFiles:
+      if (log_key) {
+        return {ErrorCode::kPermissionDenied,
+                name_ + ": files token cannot access the log namespace"};
+      }
+      return {};
+    case TokenScope::kLogAppend:
+      if (!log_key) {
+        return {ErrorCode::kPermissionDenied,
+                name_ + ": log token cannot access file objects"};
+      }
+      if (remove) {
+        return {ErrorCode::kPermissionDenied, name_ + ": log objects cannot be deleted"};
+      }
+      if (write && objects_.contains(key)) {
+        return {ErrorCode::kPermissionDenied,
+                name_ + ": log objects are append-only (key exists)"};
+      }
+      return {};
+    case TokenScope::kAdmin:
+      // The administrator reads everything and may rewrite *file* objects
+      // during recovery, but even the admin cannot delete or overwrite log
+      // entries (paper §3.3: recoveries are themselves logged, never erased).
+      if (log_key && remove) {
+        return {ErrorCode::kPermissionDenied, name_ + ": log objects cannot be deleted"};
+      }
+      if (log_key && write && objects_.contains(key)) {
+        return {ErrorCode::kPermissionDenied,
+                name_ + ": log objects are append-only (key exists)"};
+      }
+      return {};
+  }
+  return {ErrorCode::kInternal, "unreachable"};
+}
+
+sim::Timed<Status> CloudProvider::put(const AccessToken& token, const std::string& key,
+                                      BytesView data) {
+  const auto delay = net_.upload_delay_us(data.size());
+  if (!available_) return {{ErrorCode::kUnavailable, name_ + ": provider down"}, delay};
+  if (auto s = authorize(token, key, /*write=*/true, /*remove=*/false); !s.ok()) {
+    return {std::move(s), net_.rpc_delay_us(64, 64)};
+  }
+  traffic_.add_upload(data.size());
+  Object obj;
+  obj.data.assign(data.begin(), data.end());
+  obj.modified_us = clock_->now_us();
+  obj.writer = token.user_id;
+  objects_[key] = std::move(obj);
+  return {Status::Ok(), delay};
+}
+
+sim::Timed<Result<Bytes>> CloudProvider::get(const AccessToken& token,
+                                             const std::string& key) {
+  if (!available_) {
+    return {Error{ErrorCode::kUnavailable, name_ + ": provider down"},
+            net_.rpc_delay_us(64, 0)};
+  }
+  if (auto s = authorize(token, key, /*write=*/false, /*remove=*/false); !s.ok()) {
+    return {Error{s.error()}, net_.rpc_delay_us(64, 64)};
+  }
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return {Error{ErrorCode::kNotFound, name_ + ": no such object: " + key},
+            net_.rpc_delay_us(64, 64)};
+  }
+  traffic_.add_download(it->second.data.size());
+  Bytes data = it->second.data;
+  if (byzantine_) {
+    // A lying cloud returns plausible-looking garbage.
+    for (std::size_t i = 0; i < data.size(); i += 97) data[i] ^= 0xA5;
+  }
+  return {std::move(data), net_.download_delay_us(it->second.data.size())};
+}
+
+sim::Timed<Status> CloudProvider::remove(const AccessToken& token, const std::string& key) {
+  const auto delay = net_.rpc_delay_us(64, 64);
+  if (!available_) return {{ErrorCode::kUnavailable, name_ + ": provider down"}, delay};
+  if (auto s = authorize(token, key, /*write=*/true, /*remove=*/true); !s.ok()) {
+    return {std::move(s), delay};
+  }
+  if (objects_.erase(key) == 0) {
+    return {{ErrorCode::kNotFound, name_ + ": no such object: " + key}, delay};
+  }
+  return {Status::Ok(), delay};
+}
+
+sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list(const AccessToken& token,
+                                                                const std::string& prefix) {
+  if (!available_) {
+    return {Error{ErrorCode::kUnavailable, name_ + ": provider down"},
+            net_.rpc_delay_us(64, 0)};
+  }
+  if (auto s = check_token(token); !s.ok()) {
+    return {Error{s.error()}, net_.rpc_delay_us(64, 64)};
+  }
+  // Listing follows the same namespace rule as reads.
+  if (token.scope == TokenScope::kFiles && is_log_key(prefix)) {
+    return {Error{ErrorCode::kPermissionDenied, name_ + ": files token cannot list logs"},
+            net_.rpc_delay_us(64, 64)};
+  }
+  std::vector<ObjectStat> out;
+  std::size_t response_bytes = 0;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (!it->first.starts_with(prefix)) break;
+    if (token.scope == TokenScope::kLogAppend && !is_log_key(it->first)) continue;
+    out.push_back({it->first, it->second.data.size(), it->second.modified_us,
+                   it->second.writer});
+    response_bytes += it->first.size() + 32;
+  }
+  return {std::move(out), net_.rpc_delay_us(64, response_bytes)};
+}
+
+std::uint64_t CloudProvider::stored_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, obj] : objects_) total += obj.data.size();
+  return total;
+}
+
+Status CloudProvider::corrupt_object(const std::string& key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return {ErrorCode::kNotFound, "corrupt_object: " + key};
+  for (std::size_t i = 0; i < it->second.data.size(); i += 53) it->second.data[i] ^= 0x5A;
+  if (it->second.data.empty()) it->second.data.push_back(0xFF);
+  return {};
+}
+
+sim::Timed<Status> CloudProvider::archive(const AccessToken& token,
+                                          const std::string& key) {
+  const auto delay = net_.rpc_delay_us(128, 64);
+  if (!available_) return {{ErrorCode::kUnavailable, name_ + ": provider down"}, delay};
+  if (auto s = check_token(token); !s.ok()) return {std::move(s), delay};
+  if (token.scope != TokenScope::kAdmin) {
+    return {{ErrorCode::kPermissionDenied, name_ + ": archival is admin-only"}, delay};
+  }
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return {{ErrorCode::kNotFound, name_ + ": no such object: " + key}, delay};
+  }
+  cold_[key] = std::move(it->second);
+  objects_.erase(it);
+  return {Status::Ok(), delay};
+}
+
+sim::Timed<Result<Bytes>> CloudProvider::restore_from_cold(const AccessToken& token,
+                                                           const std::string& key) {
+  // Glacier-class retrieval: a large fixed delay plus a slow transfer.
+  constexpr sim::SimClock::Micros kColdRetrievalUs = 4L * 3600 * 1'000'000;  // 4h
+  if (!available_) {
+    return {Error{ErrorCode::kUnavailable, name_ + ": provider down"},
+            net_.rpc_delay_us(64, 0)};
+  }
+  if (auto s = check_token(token); !s.ok()) {
+    return {Error{s.error()}, net_.rpc_delay_us(64, 64)};
+  }
+  if (token.scope != TokenScope::kAdmin) {
+    return {Error{ErrorCode::kPermissionDenied, name_ + ": cold reads are admin-only"},
+            net_.rpc_delay_us(64, 64)};
+  }
+  const auto it = cold_.find(key);
+  if (it == cold_.end()) {
+    return {Error{ErrorCode::kNotFound, name_ + ": not in cold storage: " + key},
+            net_.rpc_delay_us(64, 64)};
+  }
+  traffic_.add_download(it->second.data.size());
+  return {Bytes(it->second.data),
+          kColdRetrievalUs + net_.download_delay_us(it->second.data.size())};
+}
+
+std::uint64_t CloudProvider::cold_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, obj] : cold_) total += obj.data.size();
+  return total;
+}
+
+Status CloudProvider::lose_object(const std::string& key) {
+  if (objects_.erase(key) == 0) return {ErrorCode::kNotFound, "lose_object: " + key};
+  return {};
+}
+
+std::vector<CloudProviderPtr> make_provider_fleet(const sim::SimClockPtr& clock,
+                                                  std::size_t count, std::uint64_t seed) {
+  std::vector<CloudProviderPtr> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto profile = sim::LinkProfile::s3_like("cloud-" + std::to_string(i));
+    // Mild heterogeneity across providers, as in a real cloud-of-clouds.
+    profile.rtt_us += static_cast<std::int64_t>(i) * 2'000;
+    profile.up_bytes_per_sec *= 1.0 + 0.07 * static_cast<double>(i);
+    fleet.push_back(std::make_shared<CloudProvider>(profile.name, clock, profile,
+                                                    seed + 1000 * i));
+  }
+  return fleet;
+}
+
+}  // namespace rockfs::cloud

@@ -1,0 +1,128 @@
+// Simulated cloud object-storage provider (the Amazon-S3 stand-in).
+//
+// One instance models one provider/bucket: a flat key -> object map with
+// token-enforced access control, a WAN latency model, per-byte traffic
+// accounting, and fault injection (outage, corruption, Byzantine responses).
+// Operations never advance the shared clock; they return sim::Timed results
+// that callers compose (see sim/timed.h).
+//
+// Namespace convention (enforced, not advisory):
+//   keys starting with "logs/"  — append-only recovery log objects
+//   everything else             — regular file objects
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloud/token.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/timed.h"
+
+namespace rockfs::cloud {
+
+/// Prefix of the append-only log namespace.
+inline constexpr const char* kLogPrefix = "logs/";
+
+struct ObjectStat {
+  std::string key;
+  std::size_t size = 0;
+  std::int64_t modified_us = 0;
+  std::string writer;
+};
+
+class CloudProvider {
+ public:
+  CloudProvider(std::string name, sim::SimClockPtr clock, sim::LinkProfile profile,
+                std::uint64_t seed);
+
+  const std::string& name() const noexcept { return name_; }
+
+  // ---- token management (provider side) ----
+
+  /// Issues a token; `validity_us` 0 means no expiry.
+  AccessToken issue_token(const std::string& user_id, const std::string& fs_id,
+                          TokenScope scope, std::int64_t validity_us = 0);
+  /// Revoked tokens fail verification from now on.
+  void revoke_token(const AccessToken& token);
+
+  // ---- object operations (each returns payload + simulated delay) ----
+
+  sim::Timed<Status> put(const AccessToken& token, const std::string& key, BytesView data);
+  sim::Timed<Result<Bytes>> get(const AccessToken& token, const std::string& key);
+  sim::Timed<Status> remove(const AccessToken& token, const std::string& key);
+  sim::Timed<Result<std::vector<ObjectStat>>> list(const AccessToken& token,
+                                                   const std::string& prefix);
+
+  // ---- introspection / accounting ----
+
+  bool exists(const std::string& key) const { return objects_.contains(key); }
+  std::size_t object_count() const noexcept { return objects_.size(); }
+  /// Total bytes currently stored (the Fig. 6 storage metric).
+  std::uint64_t stored_bytes() const noexcept;
+  sim::TrafficMeter& traffic() noexcept { return traffic_; }
+  const sim::TrafficMeter& traffic() const noexcept { return traffic_; }
+
+  // ---- fault injection ----
+
+  /// While unavailable every operation fails with kUnavailable.
+  void set_available(bool available) noexcept { available_ = available; }
+  bool available() const noexcept { return available_; }
+  /// While Byzantine, get() returns corrupted payloads (but claims success).
+  void set_byzantine(bool byzantine) noexcept { byzantine_ = byzantine; }
+  /// Flips bits of a stored object in place (silent data corruption).
+  Status corrupt_object(const std::string& key);
+  /// Deletes an object bypassing access control (models provider-side loss).
+  Status lose_object(const std::string& key);
+
+  // ---- cold storage tier (Amazon-Glacier-like; paper footnote 3) ----
+  //
+  // The snapshot/compaction mechanism moves old log-entry payloads here:
+  // they stop counting against hot storage but remain retrievable (slowly).
+  // Archival is admin-only; it is the sanctioned way to shrink the log
+  // without violating its append-only guarantee.
+
+  /// Moves a hot object into the cold tier (admin token required).
+  sim::Timed<Status> archive(const AccessToken& token, const std::string& key);
+  /// Retrieves a cold object (hours-scale simulated delay).
+  sim::Timed<Result<Bytes>> restore_from_cold(const AccessToken& token,
+                                              const std::string& key);
+  bool archived(const std::string& key) const { return cold_.contains(key); }
+  std::uint64_t cold_bytes() const noexcept;
+
+ private:
+  struct Object {
+    Bytes data;
+    std::int64_t modified_us = 0;
+    std::string writer;
+  };
+
+  Status authorize(const AccessToken& token, const std::string& key, bool write,
+                   bool remove) const;
+  Status check_token(const AccessToken& token) const;
+
+  std::string name_;
+  sim::SimClockPtr clock_;
+  sim::NetworkModel net_;
+  Rng rng_;
+  Bytes token_secret_;
+  std::map<std::string, Object> objects_;
+  std::map<std::string, Object> cold_;
+  std::set<std::uint64_t> revoked_nonces_;
+  sim::TrafficMeter traffic_;
+  bool available_ = true;
+  bool byzantine_ = false;
+};
+
+using CloudProviderPtr = std::shared_ptr<CloudProvider>;
+
+/// Convenience: builds `count` providers with S3-like profiles and distinct seeds.
+std::vector<CloudProviderPtr> make_provider_fleet(const sim::SimClockPtr& clock,
+                                                  std::size_t count, std::uint64_t seed);
+
+}  // namespace rockfs::cloud

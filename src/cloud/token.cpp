@@ -1,0 +1,55 @@
+#include "cloud/token.h"
+
+namespace rockfs::cloud {
+
+const char* token_scope_name(TokenScope s) {
+  switch (s) {
+    case TokenScope::kFiles: return "files";
+    case TokenScope::kLogAppend: return "log-append";
+    case TokenScope::kAdmin: return "admin";
+  }
+  return "?";
+}
+
+Bytes AccessToken::signing_payload() const {
+  Bytes out;
+  append_lp(out, to_bytes(user_id));
+  append_lp(out, to_bytes(fs_id));
+  out.push_back(static_cast<Byte>(scope));
+  append_u64(out, static_cast<std::uint64_t>(issued_us));
+  append_u64(out, static_cast<std::uint64_t>(expires_us));
+  append_u64(out, nonce);
+  return out;
+}
+
+Bytes AccessToken::serialize() const {
+  Bytes out = signing_payload();
+  append_lp(out, mac);
+  return out;
+}
+
+Result<AccessToken> AccessToken::deserialize(BytesView b) {
+  try {
+    AccessToken t;
+    std::size_t off = 0;
+    t.user_id = to_string(read_lp(b, &off));
+    t.fs_id = to_string(read_lp(b, &off));
+    if (off >= b.size()) return Error{ErrorCode::kCorrupted, "token: truncated"};
+    const Byte scope = b[off++];
+    if (scope > 2) return Error{ErrorCode::kCorrupted, "token: bad scope"};
+    t.scope = static_cast<TokenScope>(scope);
+    t.issued_us = static_cast<std::int64_t>(read_u64(b, off));
+    off += 8;
+    t.expires_us = static_cast<std::int64_t>(read_u64(b, off));
+    off += 8;
+    t.nonce = read_u64(b, off);
+    off += 8;
+    t.mac = read_lp(b, &off);
+    if (off != b.size()) return Error{ErrorCode::kCorrupted, "token: trailing bytes"};
+    return t;
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorrupted, std::string("token: ") + e.what()};
+  }
+}
+
+}  // namespace rockfs::cloud

@@ -1,0 +1,42 @@
+// Access tokens as issued by cloud storage providers (paper §2.2, Table 1).
+// RockFS uses two per user: t_u authorizes reads/writes of the user's file
+// objects but cannot touch the log namespace, while t_l may only *append*
+// new log objects — never overwrite or delete anything. The separation is
+// what keeps an attacker with full client-device access from destroying the
+// recovery log (threats A2/A3, §3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace rockfs::cloud {
+
+enum class TokenScope {
+  kFiles,      // t_u: full access to the user's file objects, no log access
+  kLogAppend,  // t_l: create-only access to the log namespace
+  kAdmin,      // administrator: read everything incl. logs; manage recovery
+};
+
+const char* token_scope_name(TokenScope s);
+
+struct AccessToken {
+  std::string user_id;
+  std::string fs_id;           // identifies the RockFS deployment
+  TokenScope scope = TokenScope::kFiles;
+  std::int64_t issued_us = 0;
+  std::int64_t expires_us = 0;  // 0 = no expiry
+  std::uint64_t nonce = 0;      // provider-chosen, makes tokens unpredictable
+  Bytes mac;                    // provider MAC over all fields
+
+  /// Canonical byte encoding of everything except the MAC (MAC input).
+  Bytes signing_payload() const;
+
+  /// Full wire encoding (fields + MAC), e.g. for keystore storage.
+  Bytes serialize() const;
+  static Result<AccessToken> deserialize(BytesView b);
+};
+
+}  // namespace rockfs::cloud

@@ -1,0 +1,73 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace rockfs {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView b) { return std::string(b.begin(), b.end()); }
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void append(Bytes& dst, BytesView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+void append_u64(Bytes& dst, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) dst.push_back(static_cast<Byte>(v >> (8 * i)));
+}
+
+void append_u32(Bytes& dst, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) dst.push_back(static_cast<Byte>(v >> (8 * i)));
+}
+
+std::uint64_t read_u64(BytesView b, std::size_t offset) {
+  if (offset + 8 > b.size()) throw std::out_of_range("read_u64 past end");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[offset + static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint32_t read_u32(BytesView b, std::size_t offset) {
+  if (offset + 4 > b.size()) throw std::out_of_range("read_u32 past end");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | b[offset + static_cast<std::size_t>(i)];
+  return v;
+}
+
+void append_lp(Bytes& dst, BytesView src) {
+  append_u32(dst, static_cast<std::uint32_t>(src.size()));
+  append(dst, src);
+}
+
+Bytes read_lp(BytesView b, std::size_t* offset) {
+  const std::uint32_t len = read_u32(b, *offset);
+  *offset += 4;
+  if (*offset + len > b.size()) throw std::out_of_range("read_lp past end");
+  Bytes out(b.begin() + static_cast<std::ptrdiff_t>(*offset),
+            b.begin() + static_cast<std::ptrdiff_t>(*offset + len));
+  *offset += len;
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  Byte acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<Byte>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes xor_bytes(BytesView a, BytesView b) {
+  if (a.size() != b.size()) throw std::invalid_argument("xor_bytes: size mismatch");
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = static_cast<Byte>(a[i] ^ b[i]);
+  return out;
+}
+
+}  // namespace rockfs

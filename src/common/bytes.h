@@ -1,0 +1,52 @@
+// Byte-buffer vocabulary types and helpers shared by every RockFS module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rockfs {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using BytesView = std::span<const Byte>;
+
+/// Copies a string's characters into a fresh byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as UTF-8/ASCII text.
+std::string to_string(BytesView b);
+
+/// Concatenates any number of buffers into one.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Appends a 64-bit value in big-endian byte order (for canonical encodings).
+void append_u64(Bytes& dst, std::uint64_t v);
+
+/// Appends a 32-bit value in big-endian byte order.
+void append_u32(Bytes& dst, std::uint32_t v);
+
+/// Reads a big-endian 64-bit value at `offset`; throws std::out_of_range past the end.
+std::uint64_t read_u64(BytesView b, std::size_t offset);
+
+/// Reads a big-endian 32-bit value at `offset`; throws std::out_of_range past the end.
+std::uint32_t read_u32(BytesView b, std::size_t offset);
+
+/// Appends a length-prefixed buffer (u32 length, then bytes). Inverse of read_lp.
+void append_lp(Bytes& dst, BytesView src);
+
+/// Reads a length-prefixed buffer at `*offset`, advancing it. Throws on truncation.
+Bytes read_lp(BytesView b, std::size_t* offset);
+
+/// Constant-time equality, for comparing MACs and keys.
+bool ct_equal(BytesView a, BytesView b);
+
+/// XOR of two equal-length buffers; throws std::invalid_argument on size mismatch.
+Bytes xor_bytes(BytesView a, BytesView b);
+
+}  // namespace rockfs

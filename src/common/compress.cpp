@@ -1,0 +1,127 @@
+#include "common/compress.h"
+
+#include <array>
+#include <cstring>
+
+namespace rockfs {
+
+namespace {
+
+// Stream layout: u64 uncompressed size, then tokens:
+//   0x00  lp(literal bytes)
+//   0x01  u32 distance (1..65535), u32 length (>= kMinMatch)
+constexpr Byte kOpLiteral = 0x00;
+constexpr Byte kOpMatch = 0x01;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 65'535;
+constexpr std::size_t kHashBits = 15;
+
+std::uint32_t hash4(const Byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Bytes lz_compress(BytesView data) {
+  Bytes out;
+  append_u64(out, data.size());
+  if (data.empty()) return out;
+
+  // Last position seen for each 4-byte hash (single-entry chains: greedy
+  // and fast; compression ratio is secondary to correctness here).
+  std::array<std::size_t, 1u << kHashBits> table;
+  table.fill(SIZE_MAX);
+
+  Bytes literals;
+  auto flush_literals = [&] {
+    if (literals.empty()) return;
+    out.push_back(kOpLiteral);
+    append_lp(out, literals);
+    literals.clear();
+  };
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t match_len = 0;
+    std::size_t match_dist = 0;
+    if (pos + kMinMatch <= data.size()) {
+      const std::uint32_t h = hash4(data.data() + pos);
+      const std::size_t candidate = table[h];
+      table[h] = pos;
+      if (candidate != SIZE_MAX && pos - candidate <= kMaxDistance) {
+        // Extend the match as far as it goes.
+        std::size_t len = 0;
+        const std::size_t limit = data.size() - pos;
+        while (len < limit && data[candidate + len] == data[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          match_len = len;
+          match_dist = pos - candidate;
+        }
+      }
+    }
+    if (match_len > 0) {
+      flush_literals();
+      out.push_back(kOpMatch);
+      append_u32(out, static_cast<std::uint32_t>(match_dist));
+      append_u32(out, static_cast<std::uint32_t>(match_len));
+      // Index positions inside the match so later data can reference it.
+      const std::size_t end = pos + match_len;
+      for (std::size_t p = pos + 1; p + kMinMatch <= data.size() && p < end; ++p) {
+        table[hash4(data.data() + p)] = p;
+      }
+      pos = end;
+    } else {
+      literals.push_back(data[pos]);
+      ++pos;
+    }
+  }
+  flush_literals();
+  return out;
+}
+
+Result<Bytes> lz_decompress(BytesView compressed, std::size_t max_size) {
+  try {
+    const std::uint64_t expected = read_u64(compressed, 0);
+    if (expected > max_size) {
+      return Error{ErrorCode::kCorrupted, "lz: declared size exceeds limit"};
+    }
+    Bytes out;
+    out.reserve(expected);
+    std::size_t off = 8;
+    while (off < compressed.size()) {
+      const Byte op = compressed[off++];
+      if (op == kOpLiteral) {
+        const Bytes lit = read_lp(compressed, &off);
+        if (out.size() + lit.size() > expected) {
+          return Error{ErrorCode::kCorrupted, "lz: output overruns declared size"};
+        }
+        append(out, lit);
+      } else if (op == kOpMatch) {
+        const std::uint32_t dist = read_u32(compressed, off);
+        const std::uint32_t len = read_u32(compressed, off + 4);
+        off += 8;
+        if (dist == 0 || dist > out.size()) {
+          return Error{ErrorCode::kCorrupted, "lz: bad match distance"};
+        }
+        if (out.size() + len > expected) {
+          return Error{ErrorCode::kCorrupted, "lz: output overruns declared size"};
+        }
+        // Byte-by-byte copy: overlapping matches (dist < len) are valid RLE.
+        const std::size_t start = out.size() - dist;
+        for (std::uint32_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+      } else {
+        return Error{ErrorCode::kCorrupted, "lz: unknown opcode"};
+      }
+    }
+    if (out.size() != expected) {
+      return Error{ErrorCode::kCorrupted, "lz: truncated stream"};
+    }
+    return out;
+  } catch (const std::out_of_range&) {
+    return Error{ErrorCode::kCorrupted, "lz: truncated stream"};
+  }
+}
+
+}  // namespace rockfs

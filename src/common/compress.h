@@ -1,0 +1,21 @@
+// LZ77-style compression with a 64 KiB sliding window and greedy hash-chain
+// matching. Implements the paper's §6.2 future-work suggestion: "Compression
+// techniques could also be used to reduce the overall storage required by
+// RockFS" — the log service can compress each ld_fu payload before the
+// cloud-of-clouds upload (see rockfs::core::LogService).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace rockfs {
+
+/// Compresses `data`. Output always decompresses back exactly; for
+/// incompressible input it is at most a few % larger than the input.
+Bytes lz_compress(BytesView data);
+
+/// Inverse of lz_compress. Fails with kCorrupted on malformed streams.
+/// `max_size` bounds the output to defend against decompression bombs.
+Result<Bytes> lz_decompress(BytesView compressed, std::size_t max_size = 1ULL << 32);
+
+}  // namespace rockfs

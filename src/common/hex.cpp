@@ -1,0 +1,105 @@
+#include "common/hex.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace rockfs {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid digit");
+}
+
+std::array<int, 256> b64_table() {
+  std::array<int, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(kB64Digits[i])] = i;
+  return t;
+}
+}  // namespace
+
+std::string hex_encode(BytesView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (Byte x : b) {
+    out.push_back(kHexDigits[x >> 4]);
+    out.push_back(kHexDigits[x & 0xF]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view s) {
+  if (s.size() % 2 != 0) throw std::invalid_argument("hex_decode: odd length");
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    out.push_back(static_cast<Byte>((hex_val(s[i]) << 4) | hex_val(s[i + 1])));
+  }
+  return out;
+}
+
+std::string base64_encode(BytesView b) {
+  std::string out;
+  out.reserve((b.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= b.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(b[i]) << 16) |
+                            (static_cast<std::uint32_t>(b[i + 1]) << 8) | b[i + 2];
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.push_back(kB64Digits[(v >> 6) & 63]);
+    out.push_back(kB64Digits[v & 63]);
+  }
+  const std::size_t rem = b.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(b[i]) << 16;
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(b[i]) << 16) |
+                            (static_cast<std::uint32_t>(b[i + 1]) << 8);
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.push_back(kB64Digits[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view s) {
+  static const std::array<int, 256> table = b64_table();
+  if (s.size() % 4 != 0) throw std::invalid_argument("base64_decode: bad length");
+  Bytes out;
+  out.reserve(s.size() / 4 * 3);
+  for (std::size_t i = 0; i < s.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = s[i + static_cast<std::size_t>(j)];
+      if (c == '=') {
+        if (i + 4 != s.size() || j < 2) throw std::invalid_argument("base64: bad pad");
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) throw std::invalid_argument("base64: data after pad");
+      const int d = table[static_cast<unsigned char>(c)];
+      if (d < 0) throw std::invalid_argument("base64: invalid digit");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<Byte>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<Byte>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<Byte>(v));
+  }
+  return out;
+}
+
+}  // namespace rockfs

@@ -1,0 +1,22 @@
+// Hex and base64 codecs for keys, digests and object names.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace rockfs {
+
+/// Lower-case hex encoding.
+std::string hex_encode(BytesView b);
+
+/// Decodes hex (upper or lower case); throws std::invalid_argument on bad input.
+Bytes hex_decode(std::string_view s);
+
+/// Standard base64 with padding.
+std::string base64_encode(BytesView b);
+
+/// Decodes base64; throws std::invalid_argument on bad input.
+Bytes base64_decode(std::string_view s);
+
+}  // namespace rockfs

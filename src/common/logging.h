@@ -1,0 +1,33 @@
+// Tiny leveled logger. Quiet by default so tests and benches stay readable;
+// raise the level with set_log_level or ROCKFS_LOG=debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rockfs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define ROCKFS_LOG(level, expr)                                        \
+  do {                                                                 \
+    if (static_cast<int>(level) >= static_cast<int>(::rockfs::log_level())) { \
+      std::ostringstream rockfs_log_oss_;                              \
+      rockfs_log_oss_ << expr;                                         \
+      ::rockfs::detail::log_line(level, rockfs_log_oss_.str());        \
+    }                                                                  \
+  } while (0)
+
+#define LOG_DEBUG(expr) ROCKFS_LOG(::rockfs::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) ROCKFS_LOG(::rockfs::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) ROCKFS_LOG(::rockfs::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) ROCKFS_LOG(::rockfs::LogLevel::kError, expr)
+
+}  // namespace rockfs

@@ -1,0 +1,21 @@
+#include "common/result.h"
+
+namespace rockfs {
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kIntegrity: return "integrity";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kExpired: return "expired";
+    case ErrorCode::kCorrupted: return "corrupted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace rockfs

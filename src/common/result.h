@@ -1,0 +1,121 @@
+// Minimal expected-like Result type for recoverable failures (C++20 has no
+// std::expected). Exceptions remain for programming errors and broken invariants;
+// Result is for failures a correct caller must handle: cloud unavailability,
+// permission denial, integrity-check mismatch, missing objects.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rockfs {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,          // object / tuple / file does not exist
+  kPermissionDenied,  // token does not authorize the operation
+  kUnavailable,       // provider or quorum unreachable
+  kIntegrity,         // MAC / hash / signature / share verification failed
+  kConflict,          // version conflict, lock held, concurrent writer
+  kInvalidArgument,   // malformed input that is data-dependent, not a code bug
+  kExpired,           // token or session key past its validity
+  kCorrupted,         // stored data failed to decode
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("not_found", "integrity", ...).
+const char* error_code_name(ErrorCode c);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Thrown by Result::value() when the result holds an error.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Error& e)
+      : std::runtime_error(std::string(error_code_name(e.code)) + ": " + e.message),
+        error_(e) {}
+  const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit on purpose
+  Result(Error e) : v_(std::move(e)) {}      // NOLINT: implicit on purpose
+  Result(ErrorCode c, std::string msg) : v_(Error{c, std::move(msg)}) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<Error>(v_));
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<Error>(v_));
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<Error>(v_));
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on ok result");
+    return std::get<Error>(v_);
+  }
+  /// Throws BadResultAccess with context unless ok; returns the value.
+  /// For call sites where failure is a bug rather than a handled condition.
+  const T& expect(const char* what) const& {
+    if (!ok()) {
+      const Error& e = std::get<Error>(v_);
+      throw BadResultAccess(Error{e.code, std::string(what) + ": " + e.message});
+    }
+    return std::get<T>(v_);
+  }
+  ErrorCode code() const noexcept {
+    return ok() ? ErrorCode::kOk : std::get<Error>(v_).code;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(Error e) : err_(std::move(e)), ok_(false) {}  // NOLINT
+  Status(ErrorCode c, std::string msg) : err_{c, std::move(msg)}, ok_(false) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  const Error& error() const {
+    if (ok_) throw std::logic_error("Status::error() on ok status");
+    return err_;
+  }
+  ErrorCode code() const noexcept { return ok_ ? ErrorCode::kOk : err_.code; }
+  /// Throws BadResultAccess unless ok. For call sites where failure is a bug.
+  void expect(const char* what) const {
+    if (!ok_) throw BadResultAccess(Error{err_.code, std::string(what) + ": " + err_.message});
+  }
+
+ private:
+  Error err_;
+  bool ok_ = true;
+};
+
+}  // namespace rockfs

@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rockfs {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  gauss_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+Bytes Rng::next_bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t v = next_u64();
+    for (int j = 0; j < 8; ++j) out[i + static_cast<std::size_t>(j)] = static_cast<Byte>(v >> (8 * j));
+    i += 8;
+  }
+  if (i < n) {
+    const std::uint64_t v = next_u64();
+    for (int j = 0; i < n; ++i, ++j) out[i] = static_cast<Byte>(v >> (8 * j));
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+}  // namespace rockfs

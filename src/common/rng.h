@@ -1,0 +1,40 @@
+// Deterministic pseudo-random source used for workload generation and the
+// simulator's jitter. Not for keys: cryptographic material comes from
+// crypto::Drbg, which is seeded from one of these only in tests/simulations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace rockfs {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded through SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Gaussian via Box-Muller (mean 0, stddev 1).
+  double next_gaussian();
+
+  /// Fills a buffer with pseudo-random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace rockfs

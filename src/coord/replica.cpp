@@ -1,0 +1,89 @@
+#include "coord/replica.h"
+
+#include <algorithm>
+
+namespace rockfs::coord {
+
+Replica::Replica(std::string name) : name_(std::move(name)) {}
+
+void Replica::out(const Tuple& tuple) { store_.push_back(tuple); }
+
+std::optional<Tuple> Replica::rdp(const Template& pattern) const {
+  for (const auto& t : store_) {
+    if (pattern.matches(t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<Tuple> Replica::inp(const Template& pattern) {
+  for (auto it = store_.begin(); it != store_.end(); ++it) {
+    if (pattern.matches(*it)) {
+      Tuple t = *it;
+      store_.erase(it);
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Tuple> Replica::rdall(const Template& pattern) const {
+  std::vector<Tuple> out;
+  for (const auto& t : store_) {
+    if (pattern.matches(t)) out.push_back(t);
+  }
+  return out;
+}
+
+bool Replica::cas(const Template& pattern, const Tuple& tuple) {
+  if (rdp(pattern).has_value()) return false;
+  out(tuple);
+  return true;
+}
+
+std::size_t Replica::replace(const Template& pattern, const Tuple& tuple) {
+  const std::size_t before = store_.size();
+  std::erase_if(store_, [&](const Tuple& t) { return pattern.matches(t); });
+  const std::size_t removed = before - store_.size();
+  out(tuple);
+  return removed;
+}
+
+std::size_t Replica::count(const Template& pattern) const {
+  return static_cast<std::size_t>(
+      std::count_if(store_.begin(), store_.end(),
+                    [&](const Tuple& t) { return pattern.matches(t); }));
+}
+
+Bytes Replica::checkpoint() const {
+  Bytes out;
+  append_u64(out, store_.size());
+  for (const auto& t : store_) append_lp(out, serialize_tuple(t));
+  return out;
+}
+
+Result<Replica> Replica::restore(std::string name, BytesView checkpoint) {
+  try {
+    Replica r(std::move(name));
+    const std::uint64_t n = read_u64(checkpoint, 0);
+    std::size_t off = 8;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      r.store_.push_back(deserialize_tuple(read_lp(checkpoint, &off)));
+    }
+    if (off != checkpoint.size()) {
+      return Error{ErrorCode::kCorrupted, "replica checkpoint: trailing bytes"};
+    }
+    return r;
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorrupted, std::string("replica checkpoint: ") + e.what()};
+  }
+}
+
+Tuple Replica::maybe_lie(Tuple honest) const {
+  if (!byzantine_) return honest;
+  // A Byzantine replica returns a syntactically valid but wrong tuple.
+  if (honest.empty()) return {"<byzantine>"};
+  honest.back() += "<byzantine>";
+  return honest;
+}
+
+}  // namespace rockfs::coord

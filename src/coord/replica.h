@@ -1,0 +1,59 @@
+// One DepSpace replica: a deterministic tuple-space state machine. The
+// replicated service (service.h) runs 3f+1 of these behind a quorum client.
+// Replicas support checkpoint/restore durability (the enhancement of [11]
+// the paper relies on, §5.3) and a Byzantine mode for fault-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "coord/tuple.h"
+
+namespace rockfs::coord {
+
+class Replica {
+ public:
+  explicit Replica(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  // ---- deterministic state-machine operations ----
+
+  /// Inserts a tuple.
+  void out(const Tuple& tuple);
+  /// Reads (non-destructively) the oldest matching tuple.
+  std::optional<Tuple> rdp(const Template& pattern) const;
+  /// Takes (removes and returns) the oldest matching tuple.
+  std::optional<Tuple> inp(const Template& pattern);
+  /// All matching tuples, oldest first.
+  std::vector<Tuple> rdall(const Template& pattern) const;
+  /// Atomically: insert `tuple` iff no tuple matches `pattern`. True if inserted.
+  bool cas(const Template& pattern, const Tuple& tuple);
+  /// Atomically: remove all tuples matching `pattern`, insert `tuple`.
+  /// Returns the number of removed tuples.
+  std::size_t replace(const Template& pattern, const Tuple& tuple);
+  std::size_t count(const Template& pattern) const;
+  std::size_t size() const noexcept { return store_.size(); }
+
+  // ---- durability ----
+
+  Bytes checkpoint() const;
+  static Result<Replica> restore(std::string name, BytesView checkpoint);
+
+  // ---- fault injection ----
+
+  void set_byzantine(bool b) noexcept { byzantine_ = b; }
+  bool byzantine() const noexcept { return byzantine_; }
+  /// Corrupts a read result when Byzantine (used by the service layer).
+  Tuple maybe_lie(Tuple honest) const;
+
+ private:
+  std::string name_;
+  std::deque<Tuple> store_;  // insertion order = deterministic match order
+  bool byzantine_ = false;
+};
+
+}  // namespace rockfs::coord

@@ -1,0 +1,161 @@
+#include "coord/service.h"
+
+#include <map>
+
+namespace rockfs::coord {
+
+namespace {
+
+// Canonical encodings of the per-operation answers, for voting.
+
+Bytes encode_opt_tuple(const std::optional<Tuple>& t) {
+  Bytes out;
+  out.push_back(t.has_value() ? 1 : 0);
+  if (t.has_value()) append(out, serialize_tuple(*t));
+  return out;
+}
+
+std::optional<Tuple> decode_opt_tuple(BytesView b) {
+  if (b.empty() || b[0] == 0) return std::nullopt;
+  return deserialize_tuple(b.subspan(1));
+}
+
+Bytes encode_tuples(const std::vector<Tuple>& ts) {
+  Bytes out;
+  append_u32(out, static_cast<std::uint32_t>(ts.size()));
+  for (const auto& t : ts) append_lp(out, serialize_tuple(t));
+  return out;
+}
+
+std::vector<Tuple> decode_tuples(BytesView b) {
+  std::size_t off = 0;
+  const std::uint32_t n = read_u32(b, off);
+  off += 4;
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(deserialize_tuple(read_lp(b, &off)));
+  return out;
+}
+
+Bytes encode_bool(bool v) { return Bytes{static_cast<Byte>(v ? 1 : 0)}; }
+Bytes encode_size(std::size_t v) {
+  Bytes out;
+  append_u64(out, v);
+  return out;
+}
+
+}  // namespace
+
+CoordinationService::CoordinationService(sim::SimClockPtr clock, std::size_t f,
+                                         std::uint64_t seed)
+    : clock_(std::move(clock)), f_(f) {
+  const std::size_t n = 3 * f + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    replicas_.push_back(std::make_unique<Replica>("depspace-" + std::to_string(i)));
+    auto profile = sim::LinkProfile::coordination_like("depspace-" + std::to_string(i));
+    profile.rtt_us += static_cast<std::int64_t>(i) * 700;  // mild heterogeneity
+    nets_.push_back(std::make_unique<sim::NetworkModel>(clock_, profile, seed + 31 * i));
+    down_.push_back(false);
+  }
+}
+
+template <typename Op>
+sim::Timed<Result<Bytes>> CoordinationService::execute(Op&& op) {
+  // `op(replica)` must return the canonical encoding of the replica's answer.
+  std::map<Bytes, std::vector<sim::SimClock::Micros>> votes;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (down_[i]) continue;
+    Bytes answer = op(*replicas_[i]);
+    // Request + small reply; payload sizes are second-order for metadata ops.
+    const auto delay = nets_[i]->rpc_delay_us(128, answer.size() + 64);
+    votes[std::move(answer)].push_back(delay);
+  }
+  for (auto& [answer, delays] : votes) {
+    if (delays.size() >= quorum()) {
+      return {Bytes(answer), sim::quorum_delay(delays, quorum())};
+    }
+  }
+  // No quorum: report when the slowest live replica answered.
+  std::vector<sim::SimClock::Micros> all;
+  for (auto& [answer, delays] : votes) {
+    all.insert(all.end(), delays.begin(), delays.end());
+  }
+  return {Error{ErrorCode::kUnavailable, "coordination: no 2f+1 quorum"},
+          sim::parallel_delay(all)};
+}
+
+sim::Timed<Status> CoordinationService::out(const Tuple& tuple) {
+  auto r = execute([&](Replica& rep) {
+    rep.out(tuple);
+    return to_bytes("ok");
+  });
+  if (!r.value.ok()) return {Status{r.value.error()}, r.delay};
+  return {Status::Ok(), r.delay};
+}
+
+sim::Timed<Result<std::optional<Tuple>>> CoordinationService::rdp(const Template& pattern) {
+  auto r = execute([&](Replica& rep) {
+    auto ans = rep.rdp(pattern);
+    if (ans.has_value()) ans = rep.maybe_lie(std::move(*ans));
+    return encode_opt_tuple(ans);
+  });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {decode_opt_tuple(*r.value), r.delay};
+}
+
+sim::Timed<Result<std::optional<Tuple>>> CoordinationService::inp(const Template& pattern) {
+  auto r = execute([&](Replica& rep) {
+    auto ans = rep.inp(pattern);
+    if (ans.has_value()) ans = rep.maybe_lie(std::move(*ans));
+    return encode_opt_tuple(ans);
+  });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {decode_opt_tuple(*r.value), r.delay};
+}
+
+sim::Timed<Result<std::vector<Tuple>>> CoordinationService::rdall(const Template& pattern) {
+  auto r = execute([&](Replica& rep) {
+    auto ts = rep.rdall(pattern);
+    if (rep.byzantine()) {
+      for (auto& t : ts) t = rep.maybe_lie(std::move(t));
+    }
+    return encode_tuples(ts);
+  });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {decode_tuples(*r.value), r.delay};
+}
+
+sim::Timed<Result<bool>> CoordinationService::cas(const Template& pattern,
+                                                  const Tuple& tuple) {
+  auto r = execute([&](Replica& rep) {
+    const bool inserted = rep.cas(pattern, tuple);
+    return encode_bool(rep.byzantine() ? !inserted : inserted);
+  });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {(*r.value)[0] != 0, r.delay};
+}
+
+sim::Timed<Result<std::size_t>> CoordinationService::replace(const Template& pattern,
+                                                             const Tuple& tuple) {
+  auto r = execute([&](Replica& rep) { return encode_size(rep.replace(pattern, tuple)); });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {static_cast<std::size_t>(read_u64(*r.value, 0)), r.delay};
+}
+
+sim::Timed<Result<std::size_t>> CoordinationService::count(const Template& pattern) {
+  auto r = execute([&](Replica& rep) {
+    const std::size_t c = rep.count(pattern);
+    return encode_size(rep.byzantine() ? c + 1 : c);
+  });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {static_cast<std::size_t>(read_u64(*r.value, 0)), r.delay};
+}
+
+Status CoordinationService::restore_replica(std::size_t i, BytesView checkpoint) {
+  auto restored = Replica::restore(replicas_.at(i)->name(), checkpoint);
+  if (!restored.ok()) return Status{restored.error()};
+  *replicas_[i] = std::move(*restored);
+  return {};
+}
+
+}  // namespace rockfs::coord

@@ -1,0 +1,68 @@
+// Byzantine fault-tolerant coordination service: a DepSpace-style tuple
+// space replicated over 3f+1 Replica state machines (paper §5.3). The
+// embedded quorum client sends every operation to all replicas, waits for
+// 2f+1 matching answers (majority voting masks up to f liars), and reports
+// the virtual-time delay at which the quorum completed. Like the providers,
+// the service never advances the clock itself.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "coord/replica.h"
+#include "sim/network.h"
+#include "sim/timed.h"
+
+namespace rockfs::coord {
+
+class CoordinationService {
+ public:
+  /// Builds 3f+1 replicas with coordination-like WAN profiles.
+  CoordinationService(sim::SimClockPtr clock, std::size_t f, std::uint64_t seed);
+
+  std::size_t f() const noexcept { return f_; }
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+  std::size_t quorum() const noexcept { return 2 * f_ + 1; }
+
+  // ---- tuple-space operations (delay = time for a 2f+1 quorum) ----
+
+  sim::Timed<Status> out(const Tuple& tuple);
+  sim::Timed<Result<std::optional<Tuple>>> rdp(const Template& pattern);
+  sim::Timed<Result<std::optional<Tuple>>> inp(const Template& pattern);
+  sim::Timed<Result<std::vector<Tuple>>> rdall(const Template& pattern);
+  sim::Timed<Result<bool>> cas(const Template& pattern, const Tuple& tuple);
+  sim::Timed<Result<std::size_t>> replace(const Template& pattern, const Tuple& tuple);
+  sim::Timed<Result<std::size_t>> count(const Template& pattern);
+
+  // ---- fault injection & administration ----
+
+  Replica& replica(std::size_t i) { return *replicas_.at(i); }
+  void set_replica_down(std::size_t i, bool down) { down_.at(i) = down; }
+  bool replica_down(std::size_t i) const { return down_.at(i); }
+
+  /// Durable checkpoint of one replica (the [11] enhancement).
+  Bytes checkpoint_replica(std::size_t i) const { return replicas_.at(i)->checkpoint(); }
+  /// Replaces a replica's state from a checkpoint (crash recovery / migration).
+  Status restore_replica(std::size_t i, BytesView checkpoint);
+
+ private:
+  struct Answer {
+    Bytes encoded;                 // canonical encoding for voting
+    sim::SimClock::Micros delay;   // when this replica's reply arrives
+  };
+
+  /// Runs `op` on every live replica, votes, and returns the winning encoded
+  /// answer (>= 2f+1 identical votes) with the quorum completion delay.
+  template <typename Op>
+  sim::Timed<Result<Bytes>> execute(Op&& op);
+
+  sim::SimClockPtr clock_;
+  std::size_t f_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<sim::NetworkModel>> nets_;
+  std::vector<bool> down_;
+};
+
+}  // namespace rockfs::coord

@@ -1,0 +1,43 @@
+#include "coord/tuple.h"
+
+namespace rockfs::coord {
+
+Template Template::of(std::vector<std::string> fields) {
+  Template t;
+  t.fields_.reserve(fields.size());
+  for (auto& f : fields) {
+    if (f == "*") {
+      t.fields_.emplace_back(std::nullopt);
+    } else {
+      t.fields_.emplace_back(std::move(f));
+    }
+  }
+  return t;
+}
+
+bool Template::matches(const Tuple& tuple) const {
+  if (tuple.size() != fields_.size()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].has_value() && *fields_[i] != tuple[i]) return false;
+  }
+  return true;
+}
+
+Bytes serialize_tuple(const Tuple& t) {
+  Bytes out;
+  append_u32(out, static_cast<std::uint32_t>(t.size()));
+  for (const auto& f : t) append_lp(out, to_bytes(f));
+  return out;
+}
+
+Tuple deserialize_tuple(BytesView b) {
+  std::size_t off = 0;
+  const std::uint32_t n = read_u32(b, off);
+  off += 4;
+  Tuple t;
+  t.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) t.push_back(to_string(read_lp(b, &off)));
+  return t;
+}
+
+}  // namespace rockfs::coord

@@ -1,0 +1,37 @@
+// Tuple-space vocabulary for the DepSpace-like coordination service
+// (paper §5.3). Tuples are ordered lists of strings; templates match tuples
+// field-by-field with "*" wildcards, exactly like DepSpace's rdp/inp
+// interface. Binary payloads are base64-encoded by callers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rockfs::coord {
+
+using Tuple = std::vector<std::string>;
+
+/// A match pattern: each field is either an exact string or a wildcard.
+class Template {
+ public:
+  Template() = default;
+  /// Builds from fields where "*" is the wildcard.
+  static Template of(std::vector<std::string> fields);
+
+  bool matches(const Tuple& tuple) const;
+  std::size_t size() const noexcept { return fields_.size(); }
+
+  const std::vector<std::optional<std::string>>& fields() const noexcept { return fields_; }
+
+ private:
+  std::vector<std::optional<std::string>> fields_;  // nullopt = wildcard
+};
+
+/// Canonical serializations used for replica voting and durability.
+Bytes serialize_tuple(const Tuple& t);
+Tuple deserialize_tuple(BytesView b);
+
+}  // namespace rockfs::coord

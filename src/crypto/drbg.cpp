@@ -1,0 +1,41 @@
+#include "crypto/drbg.h"
+
+#include "crypto/hmac.h"
+
+namespace rockfs::crypto {
+
+Drbg::Drbg(BytesView seed, BytesView personalization)
+    : k_(32, 0x00), v_(32, 0x01) {
+  update(concat({seed, personalization}));
+}
+
+void Drbg::update(BytesView provided) {
+  Bytes data = v_;
+  data.push_back(0x00);
+  append(data, provided);
+  k_ = hmac_sha256(k_, data);
+  v_ = hmac_sha256(k_, v_);
+  if (!provided.empty()) {
+    data = v_;
+    data.push_back(0x01);
+    append(data, provided);
+    k_ = hmac_sha256(k_, data);
+    v_ = hmac_sha256(k_, v_);
+  }
+}
+
+void Drbg::reseed(BytesView entropy) { update(entropy); }
+
+Bytes Drbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = hmac_sha256(k_, v_);
+    const std::size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+  return out;
+}
+
+}  // namespace rockfs::crypto

@@ -1,0 +1,34 @@
+// HMAC-DRBG (NIST SP 800-90A) over SHA-256: the cryptographic randomness
+// source for keys, IVs and secret-sharing polynomials. In the simulated
+// deployments it is seeded deterministically so whole experiments replay
+// bit-for-bit; a production build would seed from the OS entropy pool.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace rockfs::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(BytesView seed, BytesView personalization = {});
+
+  /// Mixes fresh entropy into the state.
+  void reseed(BytesView entropy);
+
+  /// Produces `n` pseudo-random bytes.
+  Bytes generate(std::size_t n);
+
+  /// Convenience: a fresh 256-bit symmetric key.
+  Bytes generate_key() { return generate(32); }
+
+  /// Convenience: a fresh 16-byte IV / counter block.
+  Bytes generate_iv() { return generate(16); }
+
+ private:
+  void update(BytesView provided);
+
+  Bytes k_;
+  Bytes v_;
+};
+
+}  // namespace rockfs::crypto

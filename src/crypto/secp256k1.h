@@ -1,0 +1,60 @@
+// The secp256k1 elliptic-curve group (y^2 = x^3 + 7 over F_p) with Jacobian
+// arithmetic. Used for asymmetric keys (Table 1 of the paper), Schnorr
+// signatures (crypto/signature.*) and the PVSS scheme (secretshare/pvss.*).
+// Not constant-time: this is a research reproduction, not a wallet.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/bigint.h"
+
+namespace rockfs::crypto {
+
+/// The field prime p = 2^256 - 2^32 - 977.
+const Uint256& curve_p();
+/// The (prime) group order n.
+const Uint256& curve_n();
+
+/// Affine point; `infinity` true means the identity element.
+struct Point {
+  Uint256 x;
+  Uint256 y;
+  bool infinity = true;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// The standard generator G.
+const Point& generator();
+
+/// Group law.
+Point point_add(const Point& a, const Point& b);
+Point point_double(const Point& a);
+/// k*P via double-and-add. k is taken mod n implicitly by the caller's choice.
+Point scalar_mul(const Uint256& k, const Point& p);
+/// k*G.
+Point scalar_mul_base(const Uint256& k);
+Point point_negate(const Point& a);
+
+/// Whether the point satisfies the curve equation (identity counts as valid).
+bool on_curve(const Point& p);
+
+/// Uncompressed 65-byte encoding: 0x04 || x || y; identity encodes as a single 0x00.
+Bytes point_encode(const Point& p);
+/// Inverse of point_encode; throws std::invalid_argument on malformed or off-curve input.
+Point point_decode(BytesView b);
+
+// Field helpers exposed for tests and PVSS.
+Uint256 fe_add(const Uint256& a, const Uint256& b);
+Uint256 fe_sub(const Uint256& a, const Uint256& b);
+Uint256 fe_mul(const Uint256& a, const Uint256& b);
+Uint256 fe_inv(const Uint256& a);
+
+/// Scalar arithmetic mod the group order n.
+Uint256 scalar_add(const Uint256& a, const Uint256& b);
+Uint256 scalar_sub(const Uint256& a, const Uint256& b);
+Uint256 scalar_mul_mod_n(const Uint256& a, const Uint256& b);
+Uint256 scalar_inv(const Uint256& a);
+/// Reduces arbitrary 32 bytes to a scalar in [0, n).
+Uint256 scalar_from_bytes(BytesView b32);
+
+}  // namespace rockfs::crypto

@@ -1,0 +1,164 @@
+#include "crypto/sha512.h"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/bigint.h"
+
+namespace rockfs::crypto {
+
+namespace {
+
+std::vector<std::uint64_t> first_primes(std::size_t count) {
+  std::vector<std::uint64_t> primes;
+  for (std::uint64_t n = 2; primes.size() < count; ++n) {
+    bool prime = true;
+    for (const std::uint64_t p : primes) {
+      if (p * p > n) break;
+      if (n % p == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) primes.push_back(n);
+  }
+  return primes;
+}
+
+// First 64 bits of frac(cbrt(p)) == low limb of floor(cbrt(p * 2^192)).
+std::uint64_t cbrt_frac64(std::uint64_t p) {
+  Uint512 a;
+  a.limb[3] = p;  // p << 192
+  return icbrt(a).limb[0];
+}
+
+// First 64 bits of frac(sqrt(p)) == low limb of floor(sqrt(p * 2^128)).
+std::uint64_t sqrt_frac64(std::uint64_t p) {
+  Uint512 a;
+  a.limb[2] = p;  // p << 128
+  return isqrt(a).limb[0];
+}
+
+const std::array<std::uint64_t, 80>& round_constants() {
+  static const std::array<std::uint64_t, 80> k = [] {
+    const auto primes = first_primes(80);
+    std::array<std::uint64_t, 80> out{};
+    for (std::size_t i = 0; i < 80; ++i) out[i] = cbrt_frac64(primes[i]);
+    return out;
+  }();
+  return k;
+}
+
+const std::array<std::uint64_t, 8>& initial_state() {
+  static const std::array<std::uint64_t, 8> h = [] {
+    const auto primes = first_primes(8);
+    std::array<std::uint64_t, 8> out{};
+    for (std::size_t i = 0; i < 8; ++i) out[i] = sqrt_frac64(primes[i]);
+    return out;
+  }();
+  return h;
+}
+
+std::uint64_t rotr(std::uint64_t x, int n) { return (x >> n) | (x << (64 - n)); }
+
+}  // namespace
+
+Sha512::Sha512() : h_(initial_state()) {}
+
+void Sha512::process_block(const Byte* block) {
+  const auto& kK = round_constants();
+  std::uint64_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < 8; ++j) v = (v << 8) | block[8 * i + j];
+    w[i] = v;
+  }
+  for (int i = 16; i < 80; ++i) {
+    const std::uint64_t s0 = rotr(w[i - 15], 1) ^ rotr(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    const std::uint64_t s1 = rotr(w[i - 2], 19) ^ rotr(w[i - 2], 61) ^ (w[i - 2] >> 6);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint64_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint64_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 80; ++i) {
+    const std::uint64_t s1 = rotr(e, 14) ^ rotr(e, 18) ^ rotr(e, 41);
+    const std::uint64_t ch = (e & f) ^ (~e & g);
+    const std::uint64_t t1 = h + s1 + ch + kK[static_cast<std::size_t>(i)] + w[i];
+    const std::uint64_t s0 = rotr(a, 28) ^ rotr(a, 34) ^ rotr(a, 39);
+    const std::uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint64_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha512::update(BytesView data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buf_len_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buf_len_, data.size());
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off += take;
+    if (buf_len_ == kBlockSize) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+Bytes Sha512::finish() {
+  const std::uint64_t byte_len = total_len_;
+  const Byte pad_start = 0x80;
+  update(BytesView(&pad_start, 1));
+  const Byte zero = 0x00;
+  while (buf_len_ != 112) update(BytesView(&zero, 1));
+  // 128-bit big-endian message length in bits.
+  Byte len_be[16] = {};
+  const std::uint64_t high = byte_len >> 61;
+  const std::uint64_t low = byte_len << 3;
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<Byte>(high >> (8 * (7 - i)));
+  for (int i = 0; i < 8; ++i) len_be[8 + i] = static_cast<Byte>(low >> (8 * (7 - i)));
+  update(BytesView(len_be, 16));
+
+  Bytes out(kDigestSize);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[static_cast<std::size_t>(8 * i + j)] =
+          static_cast<Byte>(h_[static_cast<std::size_t>(i)] >> (8 * (7 - j)));
+    }
+  }
+  return out;
+}
+
+Bytes Sha512::hash(BytesView data) {
+  Sha512 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Bytes sha512(BytesView data) { return Sha512::hash(data); }
+
+}  // namespace rockfs::crypto

@@ -1,0 +1,37 @@
+// SHA-512 (FIPS 180-4). The paper follows ENISA advice and uses SHA-512 for
+// hash values; we provide it alongside SHA-256 (used inside HMAC-DRBG/HKDF).
+// Round constants are derived arithmetically from the fractional parts of the
+// cube/square roots of the first primes instead of being hardcoded.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace rockfs::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+  void update(BytesView data);
+  Bytes finish();
+
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const Byte* block);
+
+  std::array<std::uint64_t, 8> h_;
+  std::array<Byte, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience: SHA-512(data).
+Bytes sha512(BytesView data);
+
+}  // namespace rockfs::crypto

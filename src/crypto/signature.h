@@ -1,0 +1,37 @@
+// Schnorr signatures over secp256k1 with deterministic (RFC-6979-style)
+// nonces. These back Table 1's asymmetric keys: user keys (PU_U, PR_U),
+// administrator keys (PU_A, PR_A) and the per-cloud service keys, as well as
+// DepSky's signed metadata files.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+#include "crypto/secp256k1.h"
+
+namespace rockfs::crypto {
+
+struct KeyPair {
+  Uint256 private_key;  // scalar in [1, n)
+  Point public_key;     // private_key * G
+
+  /// Encoded public key (65 bytes uncompressed).
+  Bytes public_bytes() const { return point_encode(public_key); }
+};
+
+/// Generates a fresh keypair from the given DRBG.
+KeyPair generate_keypair(Drbg& drbg);
+
+/// Rebuilds a keypair from a stored 32-byte private scalar.
+KeyPair keypair_from_private(BytesView private_be32);
+
+/// Signature: R (65 bytes uncompressed point) || s (32 bytes), total 97 bytes.
+constexpr std::size_t kSignatureSize = 97;
+
+/// Signs a message with a deterministic nonce derived from key and message.
+Bytes sign(const KeyPair& key, BytesView message);
+
+/// Verifies a signature against an encoded public key. Never throws on bad input.
+bool verify(BytesView public_key_bytes, BytesView message, BytesView signature);
+bool verify(const Point& public_key, BytesView message, BytesView signature);
+
+}  // namespace rockfs::crypto

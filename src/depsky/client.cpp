@@ -1,0 +1,415 @@
+#include "depsky/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+#include "erasure/reed_solomon.h"
+#include "secretshare/shamir.h"
+
+namespace rockfs::depsky {
+
+namespace {
+
+// Per-cloud share blob for protocol CA: erasure shard + Shamir key share.
+Bytes encode_ca_blob(BytesView shard, const secretshare::ShamirShare& key_share) {
+  Bytes out;
+  append_lp(out, shard);
+  append_lp(out, key_share.serialize());
+  return out;
+}
+
+struct CaBlob {
+  Bytes shard;
+  secretshare::ShamirShare key_share;
+};
+
+Result<CaBlob> decode_ca_blob(BytesView blob) {
+  try {
+    std::size_t off = 0;
+    CaBlob out;
+    out.shard = read_lp(blob, &off);
+    auto share = secretshare::ShamirShare::deserialize(read_lp(blob, &off));
+    if (!share.ok()) return share.error();
+    out.key_share = std::move(*share);
+    if (off != blob.size()) return Error{ErrorCode::kCorrupted, "ca blob: trailing bytes"};
+    return out;
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorrupted, std::string("ca blob: ") + e.what()};
+  }
+}
+
+}  // namespace
+
+DepSkyClient::DepSkyClient(DepSkyConfig config, BytesView drbg_seed)
+    : config_(std::move(config)), drbg_(drbg_seed, to_bytes("depsky-client")) {
+  if (config_.clouds.size() < 3 * config_.f + 1) {
+    throw std::invalid_argument("DepSkyClient: need n >= 3f+1 clouds");
+  }
+  const Bytes own = config_.writer.public_bytes();
+  bool has_own = false;
+  for (const Bytes& w : config_.trusted_writers) has_own = has_own || ct_equal(w, own);
+  if (!has_own) config_.trusted_writers.push_back(own);
+}
+
+bool DepSkyClient::trusted(const UnitMetadata& meta) const {
+  for (const Bytes& w : config_.trusted_writers) {
+    if (meta.verify(w)) return true;
+  }
+  return false;
+}
+
+std::string DepSkyClient::metadata_key(const std::string& unit) { return unit + ".meta"; }
+
+std::string DepSkyClient::share_key(const std::string& unit, std::uint64_t version,
+                                    std::size_t cloud_index) {
+  return unit + ".v" + std::to_string(version) + ".s" + std::to_string(cloud_index);
+}
+
+DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
+  // Query all clouds in parallel; a quorum of n-f responses (found or
+  // definitive not-found) settles the answer.
+  std::vector<sim::SimClock::Micros> delays;
+  UnitMetadata best;
+  bool found = false;
+  std::size_t responses = 0;
+  for (std::size_t i = 0; i < n(); ++i) {
+    auto got = config_.clouds[i]->get(tokens[i], metadata_key(unit));
+    delays.push_back(got.delay);
+    if (got.value.ok()) {
+      ++responses;
+      auto meta = UnitMetadata::deserialize(*got.value);
+      if (meta.ok() && meta->unit == unit && trusted(*meta) &&
+          meta->share_digests.size() == n()) {
+        if (!found || meta->version > best.version) {
+          best = std::move(*meta);
+          found = true;
+        }
+      }
+    } else if (got.value.code() == ErrorCode::kNotFound) {
+      ++responses;
+    }
+  }
+  const auto delay = sim::quorum_delay(delays, n() - f());
+  if (responses < n() - f()) {
+    return {Error{ErrorCode::kUnavailable, "depsky: metadata quorum unavailable"}, delay};
+  }
+  if (!found) {
+    return {Error{ErrorCode::kNotFound, "depsky: no such unit: " + unit}, delay};
+  }
+  return {std::move(best), delay};
+}
+
+sim::Timed<Result<std::uint64_t>> DepSkyClient::head_version(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
+  auto fetched = fetch_metadata(tokens, unit);
+  if (!fetched.metadata.ok()) {
+    if (fetched.metadata.code() == ErrorCode::kNotFound) {
+      return {std::uint64_t{0}, fetched.delay};
+    }
+    return {Error{fetched.metadata.error()}, fetched.delay};
+  }
+  return {fetched.metadata->version, fetched.delay};
+}
+
+sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& tokens,
+                                       const std::string& unit, BytesView data) {
+  if (tokens.size() != n()) {
+    return {Status{ErrorCode::kInvalidArgument, "depsky write: one token per cloud"}, 0};
+  }
+  sim::SimClock::Micros total_delay = 0;
+
+  // Phase 1: find the current version (skippable only if the caller knows it).
+  auto head = fetch_metadata(tokens, unit);
+  total_delay += head.delay;
+  std::uint64_t old_version = 0;
+  if (head.metadata.ok()) {
+    old_version = head.metadata->version;
+  } else if (head.metadata.code() != ErrorCode::kNotFound) {
+    return {Status{head.metadata.error()}, total_delay};
+  }
+  const std::uint64_t version = old_version + 1;
+
+  // Phase 2: build the per-cloud blobs.
+  std::vector<Bytes> blobs(n());
+  if (config_.protocol == Protocol::kA) {
+    for (auto& b : blobs) b.assign(data.begin(), data.end());
+  } else {
+    const Bytes key = drbg_.generate_key();
+    const Bytes iv = drbg_.generate_iv();
+    Bytes ciphertext = crypto::aes256_ctr(key, iv, data);
+    // Prepend the IV to the ciphertext so readers can decrypt.
+    Bytes sealed = concat({iv, ciphertext});
+    const erasure::ReedSolomon rs(k(), n());
+    const auto shards = rs.encode(sealed);
+    const auto key_shares = secretshare::shamir_share(key, k(), n(), drbg_);
+    for (std::size_t i = 0; i < n(); ++i) {
+      blobs[i] = encode_ca_blob(shards[i].data, key_shares[i]);
+    }
+  }
+
+  // Phase 3: metadata.
+  UnitMetadata meta;
+  meta.unit = unit;
+  meta.version = version;
+  meta.protocol = config_.protocol;
+  meta.data_size = config_.protocol == Protocol::kA
+                       ? data.size()
+                       : data.size() + crypto::Aes256::kBlockSize;  // + IV
+  for (const Bytes& b : blobs) meta.share_digests.push_back(crypto::sha256(b));
+  meta.sign(config_.writer);
+  const Bytes meta_bytes = meta.serialize();
+
+  // Phase 4: push shares to all clouds in parallel; (n-f) acks complete it.
+  std::vector<sim::SimClock::Micros> put_delays;
+  std::size_t acks = 0;
+  for (std::size_t i = 0; i < n(); ++i) {
+    auto put = config_.clouds[i]->put(tokens[i], share_key(unit, version, i), blobs[i]);
+    put_delays.push_back(put.delay);
+    if (put.value.ok()) ++acks;
+  }
+  total_delay += sim::quorum_delay(put_delays, n() - f());
+  if (acks < n() - f()) {
+    return {Status{ErrorCode::kUnavailable, "depsky write: share quorum unavailable"},
+            total_delay};
+  }
+
+  // Phase 5: metadata last, so readers never see a version whose shares are
+  // not yet stable (the paper's §2.5 ordering argument).
+  std::vector<sim::SimClock::Micros> meta_delays;
+  std::size_t meta_acks = 0;
+  for (std::size_t i = 0; i < n(); ++i) {
+    auto put = config_.clouds[i]->put(tokens[i], metadata_key(unit), meta_bytes);
+    meta_delays.push_back(put.delay);
+    if (put.value.ok()) ++meta_acks;
+  }
+  total_delay += sim::quorum_delay(meta_delays, n() - f());
+  if (meta_acks < n() - f()) {
+    return {Status{ErrorCode::kUnavailable, "depsky write: metadata quorum unavailable"},
+            total_delay};
+  }
+
+  // Garbage-collect the previous version's shares in the background (no
+  // latency charge; deletes are not on the critical path). Log-namespace
+  // units never reach here with an old version, and file deletes may be
+  // refused during outages — both are harmless leftovers.
+  if (old_version != 0) {
+    for (std::size_t i = 0; i < n(); ++i) {
+      (void)config_.clouds[i]->remove(tokens[i], share_key(unit, old_version, i));
+    }
+  }
+  return {Status::Ok(), total_delay};
+}
+
+sim::Timed<Result<Bytes>> DepSkyClient::read(const std::vector<cloud::AccessToken>& tokens,
+                                             const std::string& unit) {
+  return read_impl(tokens, unit, /*cold=*/false);
+}
+
+sim::Timed<Result<Bytes>> DepSkyClient::read_archived(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
+  return read_impl(tokens, unit, /*cold=*/true);
+}
+
+sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit, bool cold) {
+  if (tokens.size() != n()) {
+    return {Error{ErrorCode::kInvalidArgument, "depsky read: one token per cloud"}, 0};
+  }
+  sim::SimClock::Micros total_delay = 0;
+
+  auto head = fetch_metadata(tokens, unit);
+  total_delay += head.delay;
+  if (!head.metadata.ok()) return {Error{head.metadata.error()}, total_delay};
+  const UnitMetadata& meta = *head.metadata;
+
+  // Fetch shares in parallel, keep digest-valid ones.
+  struct ValidShare {
+    std::size_t cloud;
+    Bytes blob;
+    sim::SimClock::Micros delay;
+  };
+  std::vector<ValidShare> valid;
+  std::vector<sim::SimClock::Micros> all_delays;
+  for (std::size_t i = 0; i < n(); ++i) {
+    const std::string key = share_key(unit, meta.version, i);
+    auto got = cold ? config_.clouds[i]->restore_from_cold(tokens[i], key)
+                    : config_.clouds[i]->get(tokens[i], key);
+    all_delays.push_back(got.delay);
+    if (!got.value.ok()) continue;
+    if (!ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) continue;
+    valid.push_back({i, std::move(*got.value), got.delay});
+  }
+
+  const std::size_t needed = config_.protocol == Protocol::kA ? 1 : k();
+  if (valid.size() < needed) {
+    return {Error{ErrorCode::kUnavailable, "depsky read: not enough valid shares"},
+            total_delay + sim::parallel_delay(all_delays)};
+  }
+  // Completion when the `needed`-th fastest valid share arrived.
+  std::vector<sim::SimClock::Micros> valid_delays;
+  valid_delays.reserve(valid.size());
+  for (const auto& v : valid) valid_delays.push_back(v.delay);
+  total_delay += sim::quorum_delay(valid_delays, needed);
+
+  if (config_.protocol == Protocol::kA) {
+    if (valid.front().blob.size() != meta.data_size) {
+      return {Error{ErrorCode::kCorrupted, "depsky read: size mismatch"}, total_delay};
+    }
+    return {std::move(valid.front().blob), total_delay};
+  }
+
+  // Protocol CA: reassemble key and ciphertext from the k fastest valid blobs.
+  std::sort(valid.begin(), valid.end(),
+            [](const ValidShare& a, const ValidShare& b) { return a.delay < b.delay; });
+  std::vector<erasure::Shard> shards;
+  std::vector<secretshare::ShamirShare> key_shares;
+  for (std::size_t i = 0; i < needed; ++i) {
+    auto blob = decode_ca_blob(valid[i].blob);
+    if (!blob.ok()) return {Error{blob.error()}, total_delay};
+    shards.push_back({valid[i].cloud, std::move(blob->shard)});
+    key_shares.push_back(std::move(blob->key_share));
+  }
+  const erasure::ReedSolomon rs(k(), n());
+  auto sealed = rs.decode(shards, meta.data_size);
+  if (!sealed.ok()) return {Error{sealed.error()}, total_delay};
+  auto key = secretshare::shamir_combine(key_shares, k());
+  if (!key.ok()) return {Error{key.error()}, total_delay};
+  if (sealed->size() < crypto::Aes256::kBlockSize) {
+    return {Error{ErrorCode::kCorrupted, "depsky read: sealed data too short"}, total_delay};
+  }
+  const BytesView sealed_view(*sealed);
+  const BytesView iv = sealed_view.subspan(0, crypto::Aes256::kBlockSize);
+  const BytesView ct = sealed_view.subspan(crypto::Aes256::kBlockSize);
+  return {crypto::aes256_ctr(*key, iv, ct), total_delay};
+}
+
+sim::Timed<Result<DepSkyClient::RepairReport>> DepSkyClient::repair(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
+  if (tokens.size() != n()) {
+    return {Error{ErrorCode::kInvalidArgument, "depsky repair: one token per cloud"}, 0};
+  }
+  sim::SimClock::Micros total_delay = 0;
+  auto head = fetch_metadata(tokens, unit);
+  total_delay += head.delay;
+  if (!head.metadata.ok()) return {Error{head.metadata.error()}, total_delay};
+  const UnitMetadata& meta = *head.metadata;
+
+  // Inventory every share.
+  struct ShareState {
+    bool valid = false;
+    bool present = false;
+    Bytes blob;
+  };
+  std::vector<ShareState> states(n());
+  std::vector<sim::SimClock::Micros> fetch_delays;
+  for (std::size_t i = 0; i < n(); ++i) {
+    auto got = config_.clouds[i]->get(tokens[i], share_key(unit, meta.version, i));
+    fetch_delays.push_back(got.delay);
+    if (!got.value.ok()) continue;
+    states[i].present = true;
+    if (ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) {
+      states[i].valid = true;
+      states[i].blob = std::move(*got.value);
+    }
+  }
+  total_delay += sim::parallel_delay(fetch_delays);
+
+  RepairReport report;
+  std::vector<std::size_t> to_repair;
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (states[i].valid) {
+      ++report.shares_ok;
+    } else {
+      to_repair.push_back(i);
+    }
+  }
+  if (to_repair.empty()) return {report, total_delay};
+
+  // Rebuild the per-cloud blobs. Protocol A: any valid replica. Protocol CA:
+  // the Reed-Solomon shard is re-derived by repair_shard and the Shamir key
+  // share by Lagrange interpolation at the missing x — both are fully
+  // determined by any k surviving shares, no re-dealing needed.
+  std::vector<Bytes> rebuilt(n());
+  if (config_.protocol == Protocol::kA) {
+    for (std::size_t i = 0; i < n(); ++i) {
+      if (!states[i].valid) continue;
+      for (const std::size_t j : to_repair) rebuilt[j] = states[i].blob;
+      break;
+    }
+  } else {
+    // Collect the valid shards/key shares.
+    std::vector<erasure::Shard> shards;
+    std::vector<secretshare::ShamirShare> key_shares;
+    for (std::size_t i = 0; i < n() && shards.size() < k(); ++i) {
+      if (!states[i].valid) continue;
+      auto blob = decode_ca_blob(states[i].blob);
+      if (!blob.ok()) continue;
+      shards.push_back({i, std::move(blob->shard)});
+      key_shares.push_back(std::move(blob->key_share));
+    }
+    if (shards.size() < k()) {
+      return {Error{ErrorCode::kUnavailable, "depsky repair: fewer than k valid shares"},
+              total_delay};
+    }
+    const erasure::ReedSolomon rs(k(), n());
+    const std::size_t sealed_size = meta.data_size;
+    for (const std::size_t j : to_repair) {
+      auto shard = rs.repair_shard(shards, j, sealed_size);
+      if (!shard.ok()) return {Error{shard.error()}, total_delay};
+      auto key_share = secretshare::shamir_interpolate_share(
+          key_shares, k(), static_cast<std::uint8_t>(j + 1));
+      if (!key_share.ok()) return {Error{key_share.error()}, total_delay};
+      rebuilt[j] = encode_ca_blob(shard->data, *key_share);
+      // The digest must match the metadata or the original encoding differed.
+      if (!ct_equal(crypto::sha256(rebuilt[j]), meta.share_digests[j])) {
+        return {Error{ErrorCode::kInternal, "depsky repair: rebuilt share mismatch"},
+                total_delay};
+      }
+    }
+  }
+
+  // Push the rebuilt shares. Overwrites of corrupt log objects are denied by
+  // the append-only rule and reported as unrepairable.
+  std::vector<sim::SimClock::Micros> put_delays;
+  for (const std::size_t j : to_repair) {
+    auto put =
+        config_.clouds[j]->put(tokens[j], share_key(unit, meta.version, j), rebuilt[j]);
+    put_delays.push_back(put.delay);
+    if (put.value.ok()) {
+      ++report.shares_repaired;
+    } else {
+      ++report.shares_unrepairable;
+    }
+  }
+  total_delay += sim::parallel_delay(put_delays);
+  return {report, total_delay};
+}
+
+sim::Timed<Status> DepSkyClient::remove(const std::vector<cloud::AccessToken>& tokens,
+                                        const std::string& unit) {
+  if (tokens.size() != n()) {
+    return {Status{ErrorCode::kInvalidArgument, "depsky remove: one token per cloud"}, 0};
+  }
+  auto head = fetch_metadata(tokens, unit);
+  if (!head.metadata.ok()) return {Status{head.metadata.error()}, head.delay};
+
+  std::vector<sim::SimClock::Micros> delays;
+  std::size_t acks = 0;
+  for (std::size_t i = 0; i < n(); ++i) {
+    auto rm_meta = config_.clouds[i]->remove(tokens[i], metadata_key(unit));
+    auto rm_share =
+        config_.clouds[i]->remove(tokens[i], share_key(unit, head.metadata->version, i));
+    delays.push_back(std::max(rm_meta.delay, rm_share.delay));
+    if (rm_meta.value.ok()) ++acks;
+  }
+  const auto delay = head.delay + sim::quorum_delay(delays, n() - f());
+  if (acks < n() - f()) {
+    return {Status{ErrorCode::kUnavailable, "depsky remove: quorum unavailable"}, delay};
+  }
+  return {Status::Ok(), delay};
+}
+
+}  // namespace rockfs::depsky

@@ -1,0 +1,109 @@
+// DepSky cloud-of-clouds storage client (paper §5.1, after Bessani et al.
+// EuroSys'11). Stores each *data unit* across n = 3f+1 clouds so that it
+// survives f cloud failures or corruptions:
+//
+//   protocol A  — full replica at every cloud (n x storage)
+//   protocol CA — data encrypted under a fresh AES-256 key, the key split
+//                 with Shamir (f+1 of n), the ciphertext erasure-coded with
+//                 Reed-Solomon (k = f+1 of n)  =>  n/k = 2x storage for f=1
+//
+// Every unit carries signed, versioned metadata (metadata.h). Writes push
+// shares to all clouds in parallel and complete at the (n-f)-th ack; reads
+// accept the highest-version valid metadata and the fastest f+1 digest-valid
+// shares. Like every simulated component, operations return sim::Timed and
+// never advance the clock themselves.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "common/result.h"
+#include "crypto/drbg.h"
+#include "crypto/signature.h"
+#include "depsky/metadata.h"
+#include "sim/timed.h"
+
+namespace rockfs::depsky {
+
+struct DepSkyConfig {
+  std::vector<cloud::CloudProviderPtr> clouds;  // n = 3f+1 providers
+  std::size_t f = 1;
+  Protocol protocol = Protocol::kCA;
+  crypto::KeyPair writer;  // signs unit metadata
+  /// Readers accept metadata from these signers (the writer's own public key
+  /// is always trusted). RockFS adds the administrator here so that files
+  /// re-uploaded during recovery remain readable by the user.
+  std::vector<Bytes> trusted_writers;
+};
+
+class DepSkyClient {
+ public:
+  DepSkyClient(DepSkyConfig config, BytesView drbg_seed);
+
+  std::size_t n() const noexcept { return config_.clouds.size(); }
+  const DepSkyConfig& config() const noexcept { return config_; }
+  std::size_t f() const noexcept { return config_.f; }
+  /// Erasure/secret-sharing threshold: f+1 shares reconstruct.
+  std::size_t k() const noexcept { return config_.f + 1; }
+  Protocol protocol() const noexcept { return config_.protocol; }
+
+  /// Writes a new version of `unit`. `tokens[i]` authenticates at cloud i.
+  sim::Timed<Status> write(const std::vector<cloud::AccessToken>& tokens,
+                           const std::string& unit, BytesView data);
+
+  /// Reads the latest version of `unit`.
+  sim::Timed<Result<Bytes>> read(const std::vector<cloud::AccessToken>& tokens,
+                                 const std::string& unit);
+
+  /// Reads a unit whose shares were moved to cold storage (admin-only,
+  /// Glacier-class latency). Metadata must still be hot.
+  sim::Timed<Result<Bytes>> read_archived(const std::vector<cloud::AccessToken>& tokens,
+                                          const std::string& unit);
+
+  /// Reads the unit's current version number (0 = does not exist).
+  sim::Timed<Result<std::uint64_t>> head_version(
+      const std::vector<cloud::AccessToken>& tokens, const std::string& unit);
+
+  /// Deletes all objects of `unit` (files only; the log namespace refuses).
+  sim::Timed<Status> remove(const std::vector<cloud::AccessToken>& tokens,
+                            const std::string& unit);
+
+  /// Proactive redundancy repair: verifies every share of `unit` against the
+  /// metadata digests and re-creates missing or corrupt ones from the valid
+  /// k. In the append-only log namespace, *lost* shares can be re-created
+  /// (a create is an append) but corrupt ones cannot be overwritten — they
+  /// are reported instead.
+  struct RepairReport {
+    std::size_t shares_ok = 0;
+    std::size_t shares_repaired = 0;
+    std::size_t shares_unrepairable = 0;  // corrupt but not overwritable
+  };
+  sim::Timed<Result<RepairReport>> repair(const std::vector<cloud::AccessToken>& tokens,
+                                          const std::string& unit);
+
+ private:
+  struct MetadataFetch {
+    Result<UnitMetadata> metadata;
+    sim::SimClock::Micros delay = 0;
+  };
+
+  /// Highest-version valid metadata over an (n-f) quorum.
+  MetadataFetch fetch_metadata(const std::vector<cloud::AccessToken>& tokens,
+                               const std::string& unit);
+  /// Whether the metadata is signed by any trusted writer.
+  bool trusted(const UnitMetadata& meta) const;
+  /// Shared body of read / read_archived.
+  sim::Timed<Result<Bytes>> read_impl(const std::vector<cloud::AccessToken>& tokens,
+                                      const std::string& unit, bool cold);
+
+  static std::string metadata_key(const std::string& unit);
+  static std::string share_key(const std::string& unit, std::uint64_t version,
+                               std::size_t cloud_index);
+
+  DepSkyConfig config_;
+  crypto::Drbg drbg_;
+};
+
+}  // namespace rockfs::depsky

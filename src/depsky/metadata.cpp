@@ -1,0 +1,65 @@
+#include "depsky/metadata.h"
+
+namespace rockfs::depsky {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kA: return "A";
+    case Protocol::kCA: return "CA";
+  }
+  return "?";
+}
+
+Bytes UnitMetadata::signing_payload() const {
+  Bytes out;
+  append_lp(out, to_bytes(unit));
+  append_u64(out, version);
+  out.push_back(static_cast<Byte>(protocol));
+  append_u64(out, data_size);
+  append_u32(out, static_cast<std::uint32_t>(share_digests.size()));
+  for (const Bytes& d : share_digests) append_lp(out, d);
+  append_lp(out, writer_pub);
+  return out;
+}
+
+Bytes UnitMetadata::serialize() const {
+  Bytes out = signing_payload();
+  append_lp(out, signature);
+  return out;
+}
+
+Result<UnitMetadata> UnitMetadata::deserialize(BytesView b) {
+  try {
+    UnitMetadata m;
+    std::size_t off = 0;
+    m.unit = to_string(read_lp(b, &off));
+    m.version = read_u64(b, off);
+    off += 8;
+    const Byte proto = b[off++];
+    if (proto > 1) return Error{ErrorCode::kCorrupted, "metadata: bad protocol"};
+    m.protocol = static_cast<Protocol>(proto);
+    m.data_size = read_u64(b, off);
+    off += 8;
+    const std::uint32_t n = read_u32(b, off);
+    off += 4;
+    for (std::uint32_t i = 0; i < n; ++i) m.share_digests.push_back(read_lp(b, &off));
+    m.writer_pub = read_lp(b, &off);
+    m.signature = read_lp(b, &off);
+    if (off != b.size()) return Error{ErrorCode::kCorrupted, "metadata: trailing bytes"};
+    return m;
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorrupted, std::string("metadata: ") + e.what()};
+  }
+}
+
+void UnitMetadata::sign(const crypto::KeyPair& writer) {
+  writer_pub = writer.public_bytes();
+  signature = crypto::sign(writer, signing_payload());
+}
+
+bool UnitMetadata::verify(BytesView expected_writer_pub) const {
+  if (!ct_equal(writer_pub, expected_writer_pub)) return false;
+  return crypto::verify(writer_pub, signing_payload(), signature);
+}
+
+}  // namespace rockfs::depsky

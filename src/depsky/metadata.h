@@ -1,0 +1,47 @@
+// Signed, versioned metadata for DepSky data units (paper §5.1). Every unit
+// stores, next to its data shares, a metadata object carrying the version
+// number and the digest of each cloud's share, signed by the writer. Readers
+// accept the highest-version metadata with a valid signature, then accept
+// only shares whose digests match — which is how a Byzantine cloud's lies
+// are filtered out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/signature.h"
+
+namespace rockfs::depsky {
+
+enum class Protocol : std::uint8_t {
+  kA = 0,   // availability: full replication on every cloud
+  kCA = 1,  // confidentiality + availability: AES + secret-shared key + erasure codes
+};
+
+const char* protocol_name(Protocol p);
+
+struct UnitMetadata {
+  std::string unit;
+  std::uint64_t version = 0;
+  Protocol protocol = Protocol::kCA;
+  std::uint64_t data_size = 0;        // plaintext size
+  std::vector<Bytes> share_digests;   // SHA-256 of the blob stored at cloud i
+  Bytes writer_pub;                   // encoded public key of the signer
+  Bytes signature;                    // Schnorr over signing_payload()
+
+  /// Canonical bytes covered by the signature.
+  Bytes signing_payload() const;
+
+  Bytes serialize() const;
+  static Result<UnitMetadata> deserialize(BytesView b);
+
+  /// Signs with the writer's key (fills writer_pub and signature).
+  void sign(const crypto::KeyPair& writer);
+  /// Verifies the signature against the expected writer public key.
+  bool verify(BytesView expected_writer_pub) const;
+};
+
+}  // namespace rockfs::depsky

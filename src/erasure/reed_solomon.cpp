@@ -1,0 +1,107 @@
+#include "erasure/reed_solomon.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rockfs::erasure {
+
+namespace {
+
+// Systematic coding matrix: a Vandermonde matrix postmultiplied by the
+// inverse of its own top k x k block, so rows 0..k-1 become the identity and
+// every k x k submatrix stays invertible.
+gf::Matrix build_coding_matrix(std::size_t k, std::size_t n) {
+  if (k == 0 || k > n || n > 255) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k <= n <= 255");
+  }
+  const gf::Matrix vm = gf::Matrix::vandermonde(n, k);
+  std::vector<std::size_t> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = i;
+  const gf::Matrix top_inv = vm.select_rows(top).inverse();
+  return vm.multiply(top_inv);
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t n)
+    : k_(k), n_(n), coding_(build_coding_matrix(k, n)) {}
+
+std::size_t ReedSolomon::shard_size(std::size_t data_size) const {
+  return (data_size + k_ - 1) / k_;
+}
+
+std::vector<Shard> ReedSolomon::encode(BytesView data) const {
+  const std::size_t stride = std::max<std::size_t>(shard_size(data.size()), 1);
+  std::vector<Shard> shards(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    shards[i].index = i;
+    shards[i].data.assign(stride, 0);
+  }
+  // Column `pos` of the stripe is the k-vector (data[pos], data[stride+pos], ...).
+  for (std::size_t pos = 0; pos < stride; ++pos) {
+    Byte column[256] = {};
+    for (std::size_t row = 0; row < k_; ++row) {
+      const std::size_t idx = row * stride + pos;
+      column[row] = idx < data.size() ? data[idx] : 0;
+    }
+    for (std::size_t out_row = 0; out_row < n_; ++out_row) {
+      std::uint8_t acc = 0;
+      for (std::size_t c = 0; c < k_; ++c) {
+        acc ^= gf::mul(coding_.at(out_row, c), column[c]);
+      }
+      shards[out_row].data[pos] = acc;
+    }
+  }
+  return shards;
+}
+
+Result<Bytes> ReedSolomon::decode(const std::vector<Shard>& shards,
+                                  std::size_t data_size) const {
+  // Pick k distinct, size-consistent shards.
+  std::vector<const Shard*> chosen;
+  std::vector<bool> seen(n_, false);
+  const std::size_t stride = std::max<std::size_t>(shard_size(data_size), 1);
+  for (const Shard& s : shards) {
+    if (s.index >= n_ || seen[s.index]) continue;
+    if (s.data.size() != stride) {
+      return Error{ErrorCode::kInvalidArgument, "decode: shard size mismatch"};
+    }
+    seen[s.index] = true;
+    chosen.push_back(&s);
+    if (chosen.size() == k_) break;
+  }
+  if (chosen.size() < k_) {
+    return Error{ErrorCode::kInvalidArgument, "decode: fewer than k distinct shards"};
+  }
+
+  std::vector<std::size_t> rows(k_);
+  for (std::size_t i = 0; i < k_; ++i) rows[i] = chosen[i]->index;
+  const gf::Matrix dec = coding_.select_rows(rows).inverse();
+
+  Bytes out(data_size, 0);
+  for (std::size_t pos = 0; pos < stride; ++pos) {
+    Byte column[256];
+    for (std::size_t i = 0; i < k_; ++i) column[i] = chosen[i]->data[pos];
+    for (std::size_t row = 0; row < k_; ++row) {
+      std::uint8_t acc = 0;
+      for (std::size_t c = 0; c < k_; ++c) acc ^= gf::mul(dec.at(row, c), column[c]);
+      const std::size_t idx = row * stride + pos;
+      if (idx < data_size) out[idx] = acc;
+    }
+  }
+  return out;
+}
+
+Result<Shard> ReedSolomon::repair_shard(const std::vector<Shard>& available,
+                                        std::size_t missing_index,
+                                        std::size_t data_size) const {
+  if (missing_index >= n_) {
+    return Error{ErrorCode::kInvalidArgument, "repair: bad shard index"};
+  }
+  auto decoded = decode(available, data_size);
+  if (!decoded.ok()) return decoded.error();
+  auto full = encode(*decoded);
+  return full[missing_index];
+}
+
+}  // namespace rockfs::erasure

@@ -1,0 +1,199 @@
+#include "rockfs/agent.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace rockfs::core {
+
+RockFsAgent::RockFsAgent(std::string user_id, std::vector<cloud::CloudProviderPtr> clouds,
+                         std::shared_ptr<coord::CoordinationService> coordination,
+                         sim::SimClockPtr clock, AgentOptions options,
+                         std::vector<crypto::Point> holder_pubs,
+                         std::size_t holder_threshold)
+    : user_id_(std::move(user_id)),
+      clouds_(std::move(clouds)),
+      coordination_(std::move(coordination)),
+      clock_(std::move(clock)),
+      options_(std::move(options)),
+      holder_pubs_(std::move(holder_pubs)),
+      holder_threshold_(holder_threshold) {}
+
+Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& material) {
+  // Gather whatever holders are available; k of them suffice.
+  std::vector<ShareHolder> holders;
+  if (material.device.has_value()) holders.push_back(*material.device);
+  if (material.coordination.has_value()) holders.push_back(*material.coordination);
+  if (material.external.has_value()) holders.push_back(*material.external);
+
+  crypto::Drbg login_drbg(to_bytes("rockfs.login." + user_id_),
+                          to_bytes(std::to_string(clock_->now_us())));
+  auto ks = unseal_keystore(sealed, holders, holder_pubs_, holder_threshold_, login_drbg);
+  if (!ks.ok()) return Status{ks.error()};
+
+  keystore_ = std::make_unique<Keystore>(std::move(*ks));
+  drbg_ = std::make_shared<crypto::Drbg>(keystore_->user_private_key,
+                                         to_bytes("rockfs.agent." + user_id_));
+
+  // Storage stack: DepSky over the cloud fleet, writing as PR_U.
+  depsky::DepSkyConfig cfg;
+  cfg.clouds = clouds_;
+  cfg.f = options_.f;
+  cfg.protocol = options_.protocol;
+  cfg.writer = crypto::keypair_from_private(keystore_->user_private_key);
+  cfg.trusted_writers = options_.trusted_writers;
+  storage_ = std::make_shared<depsky::DepSkyClient>(std::move(cfg), drbg_->generate(32));
+
+  scfs::ScfsOptions fs_opts;
+  fs_opts.sync_mode = options_.sync_mode;
+  fs_opts.user_id = user_id_;
+  fs_ = std::make_unique<scfs::Scfs>(storage_, keystore_->file_tokens, coordination_,
+                                     clock_, fs_opts);
+
+  if (options_.enable_cache_crypto) {
+    session_keys_ = std::make_shared<SessionKeyManager>(
+        user_id_, coordination_, clock_, options_.session_key_validity_us);
+    fs_->set_cache_transform(std::make_shared<SecureCacheTransform>(session_keys_, drbg_));
+  }
+
+  if (options_.enable_logging) {
+    // Resume the chain where a previous session left off (the aggregates
+    // tuple records how far the keys have evolved).
+    log_ = make_resumed_log_service(
+        user_id_, storage_, keystore_->log_tokens, coordination_, clock_,
+        fssagg::FssAggKeys{keystore_->fssagg_key_a, keystore_->fssagg_key_b});
+    log_->set_compression(options_.compress_log);
+    fs_->set_close_interceptor(
+        [this](const std::string& path, const Bytes& old_content, const Bytes& new_content,
+               std::uint64_t version) {
+          return log_->append(path, old_content, new_content, version,
+                              version == 1 ? "create" : "update");
+        });
+  }
+  LOG_INFO("agent " << user_id_ << " logged in (logging="
+                    << (options_.enable_logging ? "on" : "off") << ")");
+  return {};
+}
+
+void RockFsAgent::logout() {
+  log_.reset();
+  fs_.reset();
+  storage_.reset();
+  session_keys_.reset();
+  drbg_.reset();
+  keystore_.reset();  // the in-RAM keystore is wiped
+}
+
+namespace {
+Status not_logged_in() { return {ErrorCode::kPermissionDenied, "agent: not logged in"}; }
+}  // namespace
+
+scfs::Scfs& RockFsAgent::fs() {
+  if (!fs_) throw std::logic_error("RockFsAgent::fs: not logged in");
+  return *fs_;
+}
+
+const Keystore& RockFsAgent::keystore() const {
+  if (!keystore_) throw std::logic_error("RockFsAgent::keystore: not logged in");
+  return *keystore_;
+}
+
+std::uint64_t RockFsAgent::log_seq() const { return log_ ? log_->next_seq() : 0; }
+
+Result<RockFsAgent::Fd> RockFsAgent::create(const std::string& path) {
+  if (!fs_) return Error{not_logged_in().error()};
+  return fs_->create(path);
+}
+
+Result<RockFsAgent::Fd> RockFsAgent::open(const std::string& path) {
+  if (!fs_) return Error{not_logged_in().error()};
+  return fs_->open(path);
+}
+
+Result<Bytes> RockFsAgent::read(Fd fd, std::size_t offset, std::size_t length) {
+  if (!fs_) return Error{not_logged_in().error()};
+  return fs_->read(fd, offset, length);
+}
+
+Status RockFsAgent::write(Fd fd, std::size_t offset, BytesView data) {
+  if (!fs_) return not_logged_in();
+  return fs_->write(fd, offset, data);
+}
+
+Status RockFsAgent::append(Fd fd, BytesView data) {
+  if (!fs_) return not_logged_in();
+  return fs_->append(fd, data);
+}
+
+Status RockFsAgent::truncate(Fd fd, std::size_t size) {
+  if (!fs_) return not_logged_in();
+  return fs_->truncate(fd, size);
+}
+
+Status RockFsAgent::close(Fd fd) {
+  if (!fs_) return not_logged_in();
+  return fs_->close(fd);
+}
+
+sim::Timed<Status> RockFsAgent::close_timed(Fd fd) {
+  if (!fs_) return {not_logged_in(), 0};
+  return fs_->close_timed(fd);
+}
+
+Status RockFsAgent::unlink(const std::string& path) {
+  if (!fs_) return not_logged_in();
+  // An unlink is a logged operation too: record a delete entry so recovery
+  // can resurrect the file (threat T1 includes malicious deletion).
+  Bytes old_content;
+  if (options_.enable_logging) {
+    auto current = read_file(path);
+    if (current.ok()) old_content = std::move(*current);
+  }
+  auto st = fs_->unlink(path);
+  if (!st.ok()) return st;
+  if (options_.enable_logging && log_) {
+    auto logged = log_->append(path, old_content, {}, 0, "delete");
+    clock_->advance_us(logged.delay);
+    if (!logged.value.ok()) return logged.value;
+  }
+  return {};
+}
+
+Result<scfs::FileStat> RockFsAgent::stat(const std::string& path) {
+  if (!fs_) return Error{not_logged_in().error()};
+  return fs_->stat(path);
+}
+
+Result<std::vector<std::string>> RockFsAgent::readdir(const std::string& prefix) {
+  if (!fs_) return Error{not_logged_in().error()};
+  return fs_->readdir(prefix);
+}
+
+void RockFsAgent::drain_background() {
+  if (fs_) fs_->drain_background();
+}
+
+Status RockFsAgent::write_file(const std::string& path, BytesView content) {
+  if (!fs_) return not_logged_in();
+  auto fd = fs_->create(path);
+  if (!fd.ok() && fd.code() == ErrorCode::kConflict) fd = fs_->open(path);
+  if (!fd.ok()) return Status{fd.error()};
+  if (auto st = fs_->truncate(*fd, 0); !st.ok()) return st;
+  if (auto st = fs_->write(*fd, 0, content); !st.ok()) return st;
+  return fs_->close(*fd);
+}
+
+Result<Bytes> RockFsAgent::read_file(const std::string& path) {
+  if (!fs_) return Error{not_logged_in().error()};
+  auto fd = fs_->open(path);
+  if (!fd.ok()) return Error{fd.error()};
+  auto st = fs_->stat(path);
+  const std::size_t size = st.ok() ? st->size : 0;
+  auto content = fs_->read(*fd, 0, size);
+  const Status closed = fs_->close(*fd);
+  if (!content.ok()) return content;
+  if (!closed.ok()) return Error{closed.error()};
+  return content;
+}
+
+}  // namespace rockfs::core

@@ -1,0 +1,111 @@
+// The RockFS agent (paper §2.3/§2.4): the client-side middleware that sits
+// between the user and the cloud-backed file system. It owns
+//   * the keystore lifecycle — login reconstructs the keystore in RAM from
+//     PVSS shares (device + coordination service by default, external memory
+//     for recovery) and nothing secret ever touches the simulated disk,
+//   * the SCFS instance, with the encrypting cache transform installed,
+//   * the log service, wired into SCFS's close path so that the log upload
+//     runs in parallel with the file upload.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rockfs/cache_security.h"
+#include "rockfs/keystore.h"
+#include "rockfs/logservice.h"
+#include "scfs/scfs.h"
+
+namespace rockfs::core {
+
+struct AgentOptions {
+  scfs::SyncMode sync_mode = scfs::SyncMode::kNonBlocking;
+  depsky::Protocol protocol = depsky::Protocol::kCA;
+  bool enable_logging = true;        // false = plain SCFS (the paper's baseline)
+  bool enable_cache_crypto = true;   // false = plaintext cache (stock SCFS)
+  bool compress_log = false;         // LZ-compress ld_fu payloads (§6.2 extension)
+  std::int64_t session_key_validity_us = 3'600'000'000;  // 1 virtual hour
+  std::size_t f = 1;
+  /// Additional DepSky writers this agent trusts (the administrator's key,
+  /// so that recovered files verify).
+  std::vector<Bytes> trusted_writers;
+};
+
+/// Where the agent finds PVSS share-holder keys at login time. The device
+/// holder key models the share on the client disk; the external holder key
+/// models the USB stick / smart card (paper Fig. 2).
+struct LoginMaterial {
+  std::optional<ShareHolder> device;
+  std::optional<ShareHolder> coordination;
+  std::optional<ShareHolder> external;
+};
+
+class RockFsAgent {
+ public:
+  using Fd = scfs::Scfs::Fd;
+
+  RockFsAgent(std::string user_id, std::vector<cloud::CloudProviderPtr> clouds,
+              std::shared_ptr<coord::CoordinationService> coordination,
+              sim::SimClockPtr clock, AgentOptions options,
+              std::vector<crypto::Point> holder_pubs, std::size_t holder_threshold);
+
+  // ---- session lifecycle (paper §4.1) ----
+
+  /// Reconstructs the keystore from >= k of the supplied holders and brings
+  /// up the file-system stack. Fails with kIntegrity on tampered shares.
+  Status login(const SealedKeystore& sealed, const LoginMaterial& material);
+  void logout();
+  bool logged_in() const noexcept { return fs_ != nullptr; }
+
+  // ---- file API (valid only while logged in) ----
+
+  Result<Fd> create(const std::string& path);
+  Result<Fd> open(const std::string& path);
+  Result<Bytes> read(Fd fd, std::size_t offset, std::size_t length);
+  Status write(Fd fd, std::size_t offset, BytesView data);
+  Status append(Fd fd, BytesView data);
+  Status truncate(Fd fd, std::size_t size);
+  Status close(Fd fd);
+  sim::Timed<Status> close_timed(Fd fd);
+  Status unlink(const std::string& path);
+  Result<scfs::FileStat> stat(const std::string& path);
+  Result<std::vector<std::string>> readdir(const std::string& prefix);
+  void drain_background();
+
+  /// Convenience: create-or-open + overwrite content + close.
+  Status write_file(const std::string& path, BytesView content);
+  /// Convenience: open + read-all + close.
+  Result<Bytes> read_file(const std::string& path);
+
+  // ---- introspection ----
+
+  const std::string& user_id() const noexcept { return user_id_; }
+  scfs::Scfs& fs();
+  const Keystore& keystore() const;
+  /// Sequence number of the next log entry (== entries logged so far).
+  std::uint64_t log_seq() const;
+  const AgentOptions& options() const noexcept { return options_; }
+
+ private:
+  std::string user_id_;
+  std::vector<cloud::CloudProviderPtr> clouds_;
+  std::shared_ptr<coord::CoordinationService> coordination_;
+  sim::SimClockPtr clock_;
+  AgentOptions options_;
+  std::vector<crypto::Point> holder_pubs_;
+  std::size_t holder_threshold_;
+
+  // Populated by login(), torn down by logout(). The keystore lives here,
+  // in "RAM", only.
+  std::unique_ptr<Keystore> keystore_;
+  std::shared_ptr<crypto::Drbg> drbg_;
+  std::shared_ptr<depsky::DepSkyClient> storage_;
+  std::unique_ptr<scfs::Scfs> fs_;
+  std::unique_ptr<LogService> log_;
+  std::shared_ptr<SessionKeyManager> session_keys_;
+};
+
+}  // namespace rockfs::core

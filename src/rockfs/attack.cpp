@@ -1,0 +1,75 @@
+#include "rockfs/attack.h"
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+
+namespace rockfs::core {
+
+
+RansomwareReport ransomware_attack(RockFsAgent& victim,
+                                   const std::vector<std::string>& paths,
+                                   std::uint64_t attacker_seed) {
+  RansomwareReport report;
+  Rng rng(attacker_seed);
+  const Bytes attacker_key = rng.next_bytes(32);
+
+  for (const auto& path : paths) {
+    auto content = victim.read_file(path);
+    if (!content.ok()) continue;
+    // Ransomware-style in-place encryption (the victim cannot decrypt).
+    Bytes iv = rng.next_bytes(16);
+    Bytes encrypted = concat({iv, crypto::aes256_ctr(attacker_key, iv, *content)});
+    const std::uint64_t seq_before = victim.log_seq();
+    if (!victim.write_file(path, encrypted).ok()) continue;
+    ++report.files_encrypted;
+    // Every log entry emitted by the malicious write is "detected".
+    for (std::uint64_t s = seq_before; s < victim.log_seq(); ++s) {
+      report.malicious_seqs.insert(s);
+    }
+  }
+  return report;
+}
+
+LogTamperReport log_tamper_attack(Deployment& deployment, const std::string& user_id) {
+  LogTamperReport report;
+  auto& agent = deployment.agent(user_id);
+  const Keystore& ks = agent.keystore();  // the attacker owns the device: full keystore
+  auto& clouds = deployment.clouds();
+
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    auto listed = clouds[i]->list(ks.log_tokens[i], "logs/");
+    if (!listed.value.ok()) continue;
+    for (const auto& stat : *listed.value) {
+      // Try to destroy the entry with both stolen tokens.
+      for (const auto& token : {ks.log_tokens[i], ks.file_tokens[i]}) {
+        ++report.delete_attempts;
+        if (clouds[i]->remove(token, stat.key).value.code() ==
+            ErrorCode::kPermissionDenied) {
+          ++report.deletes_denied;
+        }
+        ++report.overwrite_attempts;
+        if (clouds[i]->put(token, stat.key, to_bytes("garbage")).value.code() ==
+            ErrorCode::kPermissionDenied) {
+          ++report.overwrites_denied;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+CacheTheftReport cache_theft_attack(RockFsAgent& victim,
+                                    const std::vector<std::string>& paths,
+                                    const std::string& probe) {
+  CacheTheftReport report;
+  for (const auto& path : paths) {
+    const auto raw = victim.fs().cached_raw(path);
+    if (!raw.has_value()) continue;
+    ++report.cached_files;
+    const std::string haystack(raw->begin(), raw->end());
+    if (haystack.find(probe) != std::string::npos) ++report.plaintext_leaks;
+  }
+  return report;
+}
+
+}  // namespace rockfs::core

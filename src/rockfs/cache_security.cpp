@@ -1,0 +1,77 @@
+#include "rockfs/cache_security.h"
+
+#include "common/hex.h"
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+
+namespace rockfs::core {
+
+namespace {
+constexpr const char* kSessionTag = "rocksession";
+
+// The AAD binds both the path and the inode version: a sealed entry replayed
+// after the file changed fails authentication even under the same session key.
+Bytes cache_aad(const std::string& path, std::uint64_t version) {
+  return to_bytes("rockfs.cache.v1|" + path + "|" + std::to_string(version));
+}
+}  // namespace
+
+SessionKeyManager::SessionKeyManager(std::string user_id,
+                                     std::shared_ptr<coord::CoordinationService> coord,
+                                     sim::SimClockPtr clock, std::int64_t validity_us)
+    : user_id_(std::move(user_id)),
+      coord_(std::move(coord)),
+      clock_(std::move(clock)),
+      validity_us_(validity_us) {}
+
+void SessionKeyManager::register_key(BytesView key) {
+  // Only a digest of S_U goes to the coordination service — enough to pin
+  // the currently-valid key without disclosing it.
+  const std::string key_id = hex_encode(crypto::sha256(key));
+  auto r = coord_->replace(coord::Template::of({kSessionTag, user_id_, "*", "*"}),
+                           {kSessionTag, user_id_, key_id, std::to_string(expiry_us_)});
+  clock_->advance_us(r.delay);
+  r.value.expect("session key registration");
+}
+
+SessionKeyManager::Current SessionKeyManager::current(crypto::Drbg& drbg) {
+  if (expiry_us_ >= 0 && clock_->now_us() < expiry_us_ && !key_.empty()) {
+    return {key_, false};
+  }
+  key_ = drbg.generate_key();
+  expiry_us_ = clock_->now_us() + validity_us_;
+  register_key(key_);
+  return {key_, true};
+}
+
+bool SessionKeyManager::valid(BytesView key) const {
+  if (expiry_us_ < 0 || clock_->now_us() >= expiry_us_) return false;
+  const std::string key_id = hex_encode(crypto::sha256(key));
+  auto r = coord_->rdp(coord::Template::of({kSessionTag, user_id_, key_id, "*"}));
+  clock_->advance_us(r.delay);
+  return r.value.ok() && r.value->has_value();
+}
+
+SecureCacheTransform::SecureCacheTransform(std::shared_ptr<SessionKeyManager> keys,
+                                           std::shared_ptr<crypto::Drbg> drbg)
+    : keys_(std::move(keys)), drbg_(std::move(drbg)) {}
+
+Bytes SecureCacheTransform::protect(const std::string& path, std::uint64_t version,
+                                    BytesView plaintext) {
+  const auto current = keys_->current(*drbg_);
+  return crypto::seal(current.key, plaintext, cache_aad(path, version),
+                      drbg_->generate_iv());
+}
+
+Result<Bytes> SecureCacheTransform::unprotect(const std::string& path,
+                                              std::uint64_t version, BytesView cached) {
+  const auto current = keys_->current(*drbg_);
+  if (current.rotated) {
+    // The key under which this entry was sealed has expired; per §4.2.1 the
+    // cached file is discarded and refetched.
+    return Error{ErrorCode::kExpired, "cache: session key rotated"};
+  }
+  return crypto::open_sealed(current.key, cached, cache_aad(path, version));
+}
+
+}  // namespace rockfs::core

@@ -1,0 +1,70 @@
+// Local-cache protection (paper §4.2, Fig. 4): RockFS's CacheTransform for
+// SCFS. Every cached file is stored sealed — AES-256-CTR under the session
+// key S_U with an HMAC binding the file path (encrypt-then-MAC subsumes the
+// paper's "hash value h_fu encrypted together with the file": it provides
+// the same tamper-evidence with a standard AEAD construction). On open, a
+// failed verification makes SCFS discard the cache entry and refetch from
+// the cloud, exactly the §4.2.2 flow.
+//
+// S_U is short-lived: its identifier and expiry are registered in the
+// coordination service so an attacker cannot keep using an old key after
+// rotation (§4.2.1). When the key expires the whole cache is discarded.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "coord/service.h"
+#include "crypto/drbg.h"
+#include "scfs/scfs.h"
+
+namespace rockfs::core {
+
+/// Manages the session key lifecycle against the coordination service.
+class SessionKeyManager {
+ public:
+  SessionKeyManager(std::string user_id, std::shared_ptr<coord::CoordinationService> coord,
+                    sim::SimClockPtr clock, std::int64_t validity_us);
+
+  /// Current key, rotating (and registering) a fresh one if expired.
+  /// The returned flag says whether a rotation happened (cache must drop).
+  struct Current {
+    Bytes key;
+    bool rotated = false;
+  };
+  Current current(crypto::Drbg& drbg);
+
+  /// True if the given key is the registered, unexpired session key.
+  bool valid(BytesView key) const;
+
+  std::int64_t expiry_us() const noexcept { return expiry_us_; }
+
+ private:
+  void register_key(BytesView key);
+
+  std::string user_id_;
+  std::shared_ptr<coord::CoordinationService> coord_;
+  sim::SimClockPtr clock_;
+  std::int64_t validity_us_;
+  Bytes key_;
+  std::int64_t expiry_us_ = -1;
+};
+
+/// The encrypting CacheTransform installed into SCFS.
+class SecureCacheTransform final : public scfs::CacheTransform {
+ public:
+  SecureCacheTransform(std::shared_ptr<SessionKeyManager> keys,
+                       std::shared_ptr<crypto::Drbg> drbg);
+
+  Bytes protect(const std::string& path, std::uint64_t version,
+                BytesView plaintext) override;
+  Result<Bytes> unprotect(const std::string& path, std::uint64_t version,
+                          BytesView cached) override;
+
+ private:
+  std::shared_ptr<SessionKeyManager> keys_;
+  std::shared_ptr<crypto::Drbg> drbg_;
+};
+
+}  // namespace rockfs::core

@@ -1,0 +1,27 @@
+#include "rockfs/costs.h"
+
+#include <map>
+
+namespace rockfs::core {
+
+double estimate_monthly_storage_usd(const CostModel& model,
+                                    const std::vector<LogRecord>& records) {
+  double log_bytes = 0;
+  std::map<std::string, double> last_file_size;
+  for (const auto& r : records) {
+    log_bytes += 2.0 * static_cast<double>(r.payload_size);  // erasure-coded
+    if (r.op == "delete") {
+      last_file_size[r.path] = 0;
+    } else if (r.whole_file) {
+      last_file_size[r.path] = 2.0 * static_cast<double>(r.payload_size);
+    } else {
+      // Deltas only bound the growth; approximate by accumulation.
+      last_file_size[r.path] += 2.0 * static_cast<double>(r.payload_size);
+    }
+  }
+  double file_bytes = 0;
+  for (const auto& [path, size] : last_file_size) file_bytes += size;
+  return model.monthly_storage_cost_usd(file_bytes + log_bytes, 0);
+}
+
+}  // namespace rockfs::core

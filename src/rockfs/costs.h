@@ -1,0 +1,71 @@
+// Monetary and traffic cost models from paper §6.4. The closed forms let
+// users predict what RockFS's logging and recovery cost before deploying:
+//
+//   eq. 2  sigma_log(t)    = (t + delta*t) * n / 2          upload per update
+//   eq. 3  sigma_rec(t, v) = (t + delta*t*v) * n / 2        download per recovery
+//
+// (delta = relative modification size, n = clouds, /2 = erasure coding with
+// k = n/2). Monetary rates default to the paper's April-2018 S3 figures:
+// uploads free, ~$0.09/GB egress.
+#pragma once
+
+#include <cstdint>
+
+#include "rockfs/logservice.h"
+
+namespace rockfs::core {
+
+struct CostModel {
+  double delta = 0.3;              // relative modification size
+  std::size_t clouds = 4;          // n
+  double upload_usd_per_gb = 0.0;  // most providers do not charge ingress
+  double egress_usd_per_gb = 0.09;
+  double hot_storage_usd_per_gb_month = 0.023;   // S3 standard
+  double cold_storage_usd_per_gb_month = 0.004;  // Glacier-class
+
+  /// eq. 2: bytes uploaded for one logged update of a `file_bytes` file.
+  double log_upload_bytes(double file_bytes) const {
+    return (file_bytes + delta * file_bytes) * static_cast<double>(clouds) / 2.0;
+  }
+
+  /// eq. 3: bytes downloaded to recover a `file_bytes` file with `versions`.
+  double recovery_download_bytes(double file_bytes, std::size_t versions) const {
+    return (file_bytes + delta * file_bytes * static_cast<double>(versions)) *
+           static_cast<double>(clouds) / 2.0;
+  }
+
+  /// Cloud bytes occupied by a file plus its log after `versions` updates
+  /// (linear growth; the create entry stores the whole file).
+  double stored_bytes(double file_bytes, std::size_t versions) const {
+    const double file = 2.0 * (file_bytes + static_cast<double>(versions) * delta *
+                                                file_bytes);
+    const double log = 2.0 * file_bytes +
+                       static_cast<double>(versions) * 2.0 * delta * file_bytes;
+    return file + log;
+  }
+
+  // ---- monetary ----
+
+  double upload_cost_usd(double bytes) const {
+    return bytes / (1024.0 * 1024.0 * 1024.0) * upload_usd_per_gb;
+  }
+  double egress_cost_usd(double bytes) const {
+    return bytes / (1024.0 * 1024.0 * 1024.0) * egress_usd_per_gb;
+  }
+  double recovery_cost_usd(double file_bytes, std::size_t versions) const {
+    return egress_cost_usd(recovery_download_bytes(file_bytes, versions));
+  }
+  double monthly_storage_cost_usd(double hot_bytes, double cold_bytes) const {
+    constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+    return hot_bytes / kGb * hot_storage_usd_per_gb_month +
+           cold_bytes / kGb * cold_storage_usd_per_gb_month;
+  }
+};
+
+/// Predicted monthly storage bill for a user, from their audited log records
+/// (sums the log payload sizes plus a 2x-coded copy of each file's last
+/// known size).
+double estimate_monthly_storage_usd(const CostModel& model,
+                                    const std::vector<LogRecord>& records);
+
+}  // namespace rockfs::core

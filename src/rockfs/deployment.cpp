@@ -1,0 +1,153 @@
+#include "rockfs/deployment.h"
+
+#include <stdexcept>
+
+#include "common/hex.h"
+
+namespace rockfs::core {
+
+Deployment::Deployment(DeploymentOptions options)
+    : options_(std::move(options)),
+      clock_(std::make_shared<sim::SimClock>()),
+      clouds_(cloud::make_provider_fleet(clock_, 3 * options_.f + 1, options_.seed)),
+      coordination_(std::make_shared<coord::CoordinationService>(clock_, options_.f,
+                                                                 options_.seed ^ 0xC0C0)),
+      setup_drbg_(to_bytes("rockfs.deployment"), to_bytes(std::to_string(options_.seed))),
+      admin_keys_(crypto::generate_keypair(setup_drbg_)) {
+  if (options_.agent.f != options_.f) options_.agent.f = options_.f;
+}
+
+RockFsAgent& Deployment::add_user(const std::string& user_id) {
+  return add_user(user_id, options_.agent);
+}
+
+RockFsAgent& Deployment::add_user(const std::string& user_id, const AgentOptions& options) {
+  if (agents_.contains(user_id)) {
+    throw std::invalid_argument("Deployment::add_user: duplicate user " + user_id);
+  }
+
+  UserSecrets us;
+
+  // Cloud providers issue the two token families (Table 1: t_u, t_l).
+  Keystore ks;
+  ks.user_id = user_id;
+  const crypto::KeyPair user_keys = crypto::generate_keypair(setup_drbg_);
+  ks.user_private_key = user_keys.private_key.to_bytes_be();
+  us.user_public_key = user_keys.public_key;
+  for (auto& c : clouds_) {
+    ks.file_tokens.push_back(
+        c->issue_token(user_id, options_.fs_id, cloud::TokenScope::kFiles));
+    ks.log_tokens.push_back(
+        c->issue_token(user_id, options_.fs_id, cloud::TokenScope::kLogAppend));
+  }
+
+  // Administrator exchanges the FssAgg setup keys (A_1, B_1) — the agent
+  // carries the current evolving copies in its keystore, the admin keeps the
+  // originals for verification (§3.2).
+  us.chain_keys = fssagg::fssagg_keygen(setup_drbg_);
+  ks.fssagg_key_a = us.chain_keys.a1;
+  ks.fssagg_key_b = us.chain_keys.b1;
+
+  // Session key: generated lazily by the SessionKeyManager at first use.
+  ks.session_key = {};
+  ks.session_key_expiry_us = 0;
+
+  // PVSS holders: device, coordination service, external memory (k = 2 of 3,
+  // the paper's default split).
+  us.device_holder = {"device", crypto::generate_keypair(setup_drbg_)};
+  us.coordination_holder = {"coordination", crypto::generate_keypair(setup_drbg_)};
+  us.external_holder = {"external", crypto::generate_keypair(setup_drbg_)};
+  us.holder_pubs = {us.device_holder.keys.public_key,
+                    us.coordination_holder.keys.public_key,
+                    us.external_holder.keys.public_key};
+  us.sealed = seal_keystore(ks, {us.device_holder, us.coordination_holder,
+                                 us.external_holder},
+                            /*k=*/2, setup_drbg_);
+
+  // The sealed keystore (public) is kept in the coordination service so any
+  // of the user's devices can fetch it.
+  auto stored = coordination_->replace(
+      coord::Template::of({"rockks", user_id, "*"}),
+      {"rockks", user_id, base64_encode(us.sealed.serialize())});
+  clock_->advance_us(stored.delay);
+  stored.value.expect("store sealed keystore");
+
+  AgentOptions agent_options = options;
+  agent_options.trusted_writers.push_back(crypto::point_encode(admin_keys_.public_key));
+  auto agent = std::make_unique<RockFsAgent>(user_id, clouds_, coordination_, clock_,
+                                             agent_options, us.holder_pubs,
+                                             /*threshold=*/2);
+  secrets_[user_id] = std::move(us);
+  agents_[user_id] = std::move(agent);
+
+  if (auto st = login_default(user_id); !st.ok()) {
+    throw std::runtime_error("Deployment::add_user: login failed: " + st.error().message);
+  }
+  return *agents_[user_id];
+}
+
+RockFsAgent& Deployment::agent(const std::string& user_id) {
+  const auto it = agents_.find(user_id);
+  if (it == agents_.end()) {
+    throw std::invalid_argument("Deployment::agent: unknown user " + user_id);
+  }
+  return *it->second;
+}
+
+Deployment::UserSecrets& Deployment::secrets(const std::string& user_id) {
+  const auto it = secrets_.find(user_id);
+  if (it == secrets_.end()) {
+    throw std::invalid_argument("Deployment::secrets: unknown user " + user_id);
+  }
+  return it->second;
+}
+
+void Deployment::destroy_device_share(const std::string& user_id) {
+  secrets(user_id).device_share_destroyed = true;
+}
+
+Status Deployment::login_default(const std::string& user_id) {
+  auto& us = secrets(user_id);
+  LoginMaterial material;
+  if (!us.device_share_destroyed) material.device = us.device_holder;
+  material.coordination = us.coordination_holder;
+  return agent(user_id).login(us.sealed, material);
+}
+
+Status Deployment::login_with_external(const std::string& user_id) {
+  auto& us = secrets(user_id);
+  LoginMaterial material;
+  material.coordination = us.coordination_holder;
+  material.external = us.external_holder;
+  return agent(user_id).login(us.sealed, material);
+}
+
+std::vector<cloud::AccessToken> Deployment::admin_tokens() {
+  std::vector<cloud::AccessToken> tokens;
+  tokens.reserve(clouds_.size());
+  for (auto& c : clouds_) {
+    tokens.push_back(c->issue_token("admin", options_.fs_id, cloud::TokenScope::kAdmin));
+  }
+  return tokens;
+}
+
+RecoveryService Deployment::make_recovery_service(const std::string& user_id) {
+  auto& us = secrets(user_id);
+  RecoveryConfig cfg;
+  cfg.user_chain_keys = us.chain_keys;
+  cfg.admin_tokens = admin_tokens();
+
+  depsky::DepSkyConfig storage_cfg;
+  storage_cfg.clouds = clouds_;
+  storage_cfg.f = options_.f;
+  storage_cfg.protocol = options_.agent.protocol;
+  storage_cfg.writer = admin_keys_;
+  // The admin reads units written by the user: trust the user's signer.
+  storage_cfg.trusted_writers.push_back(crypto::point_encode(us.user_public_key));
+  auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
+                                                        setup_drbg_.generate(32));
+  return RecoveryService(user_id, std::move(cfg), std::move(storage), coordination_,
+                         clock_);
+}
+
+}  // namespace rockfs::core

@@ -1,0 +1,85 @@
+// Assembles a complete simulated RockFS deployment: the virtual clock, the
+// cloud-of-clouds fleet (n = 3f+1 providers with S3-like WAN profiles), the
+// BFT coordination service, and per-user state (tokens, keystore, PVSS share
+// holders, FssAgg setup keys). This mirrors the paper's §6 testbed — 4
+// Amazon S3 buckets + 4 DepSpace replicas on GCE + one client VM — and is
+// the entry point used by the examples, tests and benchmarks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rockfs/agent.h"
+#include "rockfs/recovery.h"
+
+namespace rockfs::core {
+
+struct DeploymentOptions {
+  std::size_t f = 1;  // clouds and coordination replicas are both 3f+1
+  std::uint64_t seed = 2018;
+  std::string fs_id = "rockfs";
+  AgentOptions agent;  // defaults applied to every user added
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions options = {});
+
+  const sim::SimClockPtr& clock() const noexcept { return clock_; }
+  std::vector<cloud::CloudProviderPtr>& clouds() noexcept { return clouds_; }
+  const std::shared_ptr<coord::CoordinationService>& coordination() const noexcept {
+    return coordination_;
+  }
+
+  /// Provisions a user end-to-end (paper setup flow): issues t_u/t_l at
+  /// every cloud, generates PR_U and the FssAgg keys, builds and seals the
+  /// keystore among {device, coordination, external} holders (k = 2 of 3),
+  /// stores the sealed keystore, and logs the agent in.
+  RockFsAgent& add_user(const std::string& user_id);
+  RockFsAgent& add_user(const std::string& user_id, const AgentOptions& options);
+
+  RockFsAgent& agent(const std::string& user_id);
+
+  /// Administrator-side recovery service for a user's files.
+  RecoveryService make_recovery_service(const std::string& user_id);
+
+  // ---- client-device modelling (for the T2/T3 attack scenarios) ----
+
+  /// Simulated persistent stores for the PVSS holder keys.
+  struct UserSecrets {
+    SealedKeystore sealed;                 // public; also kept in coordination
+    ShareHolder device_holder;             // key on the client disk
+    ShareHolder coordination_holder;       // key held by the coordination svc
+    ShareHolder external_holder;           // key on the USB stick / smartcard
+    std::vector<crypto::Point> holder_pubs;
+    fssagg::FssAggKeys chain_keys;         // admin's copy of (A_1, B_1)
+    crypto::Point user_public_key;         // PU_U
+    bool device_share_destroyed = false;
+  };
+  UserSecrets& secrets(const std::string& user_id);
+
+  /// Ransomware wipes the device share; subsequent default logins must fail
+  /// until the external share is produced (threat T2).
+  void destroy_device_share(const std::string& user_id);
+
+  /// Re-login helpers (the agent is logged in by add_user already).
+  Status login_default(const std::string& user_id);        // device + coord
+  Status login_with_external(const std::string& user_id);  // external + coord
+
+  /// Admin tokens, one per cloud.
+  std::vector<cloud::AccessToken> admin_tokens();
+
+ private:
+  DeploymentOptions options_;
+  sim::SimClockPtr clock_;
+  std::vector<cloud::CloudProviderPtr> clouds_;
+  std::shared_ptr<coord::CoordinationService> coordination_;
+  crypto::Drbg setup_drbg_;
+  crypto::KeyPair admin_keys_;  // PU_A/PR_A: signs recovered file versions
+  std::map<std::string, std::unique_ptr<RockFsAgent>> agents_;
+  std::map<std::string, UserSecrets> secrets_;
+};
+
+}  // namespace rockfs::core

@@ -1,0 +1,157 @@
+#include "rockfs/keystore.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/secp256k1.h"
+
+namespace rockfs::core {
+
+namespace {
+const char* kSealAad = "rockfs.keystore.v1";
+
+// Sealing key = HKDF(PVSS key, salt = user password). With no password this
+// degenerates to a plain expansion of the PVSS key.
+Bytes sealing_key(const Bytes& pvss_key, const std::string& password) {
+  return crypto::hkdf_sha256(pvss_key, to_bytes(password),
+                             to_bytes("rockfs.keystore.kdf"), 32);
+}
+}  // namespace
+
+Bytes Keystore::serialize() const {
+  Bytes out;
+  append_lp(out, to_bytes(user_id));
+  append_lp(out, user_private_key);
+  append_u32(out, static_cast<std::uint32_t>(file_tokens.size()));
+  for (const auto& t : file_tokens) append_lp(out, t.serialize());
+  append_u32(out, static_cast<std::uint32_t>(log_tokens.size()));
+  for (const auto& t : log_tokens) append_lp(out, t.serialize());
+  append_lp(out, session_key);
+  append_u64(out, static_cast<std::uint64_t>(session_key_expiry_us));
+  append_lp(out, fssagg_key_a);
+  append_lp(out, fssagg_key_b);
+  return out;
+}
+
+Result<Keystore> Keystore::deserialize(BytesView b) {
+  try {
+    Keystore ks;
+    std::size_t off = 0;
+    ks.user_id = to_string(read_lp(b, &off));
+    ks.user_private_key = read_lp(b, &off);
+    const std::uint32_t nf = read_u32(b, off);
+    off += 4;
+    for (std::uint32_t i = 0; i < nf; ++i) {
+      auto t = cloud::AccessToken::deserialize(read_lp(b, &off));
+      if (!t.ok()) return t.error();
+      ks.file_tokens.push_back(std::move(*t));
+    }
+    const std::uint32_t nl = read_u32(b, off);
+    off += 4;
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      auto t = cloud::AccessToken::deserialize(read_lp(b, &off));
+      if (!t.ok()) return t.error();
+      ks.log_tokens.push_back(std::move(*t));
+    }
+    ks.session_key = read_lp(b, &off);
+    ks.session_key_expiry_us = static_cast<std::int64_t>(read_u64(b, off));
+    off += 8;
+    ks.fssagg_key_a = read_lp(b, &off);
+    ks.fssagg_key_b = read_lp(b, &off);
+    if (off != b.size()) return Error{ErrorCode::kCorrupted, "keystore: trailing bytes"};
+    return ks;
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorrupted, std::string("keystore: ") + e.what()};
+  }
+}
+
+Bytes SealedKeystore::serialize() const {
+  Bytes out;
+  append_lp(out, deal.serialize());
+  append_lp(out, ciphertext);
+  return out;
+}
+
+Result<SealedKeystore> SealedKeystore::deserialize(BytesView b) {
+  try {
+    SealedKeystore s;
+    std::size_t off = 0;
+    auto deal = secretshare::PvssDeal::deserialize(read_lp(b, &off));
+    if (!deal.ok()) return deal.error();
+    s.deal = std::move(*deal);
+    s.ciphertext = read_lp(b, &off);
+    if (off != b.size()) {
+      return Error{ErrorCode::kCorrupted, "sealed keystore: trailing bytes"};
+    }
+    return s;
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorrupted, std::string("sealed keystore: ") + e.what()};
+  }
+}
+
+SealedKeystore seal_keystore(const Keystore& keystore,
+                             const std::vector<ShareHolder>& holders, std::size_t k,
+                             crypto::Drbg& drbg, const std::string& password) {
+  std::vector<crypto::Point> holder_pubs;
+  holder_pubs.reserve(holders.size());
+  for (const auto& h : holders) holder_pubs.push_back(h.keys.public_key);
+
+  // The dealer (the client itself) picks a fresh scalar secret; the sealing
+  // key is H(s*G), which the dealer knows directly and reconstructors obtain
+  // by combining shares in the exponent.
+  const crypto::Uint256 secret = crypto::scalar_from_bytes(drbg.generate(32));
+  SealedKeystore out;
+  out.deal = secretshare::pvss_share(secret, holder_pubs, k, drbg);
+  const Bytes pvss_key =
+      secretshare::pvss_secret_key(secretshare::pvss_public_secret(secret));
+  out.ciphertext = crypto::seal(sealing_key(pvss_key, password), keystore.serialize(),
+                                to_bytes(kSealAad), drbg.generate_iv());
+  return out;
+}
+
+Result<Keystore> unseal_keystore(const SealedKeystore& sealed,
+                                 const std::vector<ShareHolder>& available_holders,
+                                 const std::vector<crypto::Point>& all_holder_pubs,
+                                 std::size_t k, crypto::Drbg& drbg,
+                                 const std::string& password) {
+  if (available_holders.size() < k) {
+    return Error{ErrorCode::kInvalidArgument, "unseal: fewer than k holders"};
+  }
+  // verifyD on the deal itself guards against a corrupted deal replica.
+  if (!secretshare::pvss_verify_deal(sealed.deal, all_holder_pubs)) {
+    return Error{ErrorCode::kIntegrity, "unseal: PVSS deal failed verification"};
+  }
+  std::vector<secretshare::PvssDecryptedShare> shares;
+  for (const auto& holder : available_holders) {
+    // Locate the holder's index in the deal by public key.
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < all_holder_pubs.size(); ++i) {
+      if (all_holder_pubs[i] == holder.keys.public_key) {
+        index = i + 1;
+        break;
+      }
+    }
+    if (index == 0) {
+      return Error{ErrorCode::kIntegrity,
+                   "unseal: holder '" + holder.name + "' is not part of the deal"};
+    }
+    auto share = secretshare::pvss_decrypt_share(sealed.deal, index, holder.keys, drbg);
+    if (!share.ok()) return share.error();
+    // verifyS: a corrupted holder key yields a share that fails this check.
+    if (!secretshare::pvss_verify_decrypted(sealed.deal, *share,
+                                            all_holder_pubs[index - 1])) {
+      return Error{ErrorCode::kIntegrity,
+                   "unseal: share of holder '" + holder.name + "' failed verifyS"};
+    }
+    shares.push_back(std::move(*share));
+    if (shares.size() == k) break;
+  }
+  auto combined = secretshare::pvss_combine(shares, k);
+  if (!combined.ok()) return combined.error();
+  const Bytes pvss_key = secretshare::pvss_secret_key(*combined);
+  auto plain = crypto::open_sealed(sealing_key(pvss_key, password), sealed.ciphertext,
+                                   to_bytes(kSealAad));
+  if (!plain.ok()) return plain.error();
+  return Keystore::deserialize(*plain);
+}
+
+}  // namespace rockfs::core

@@ -1,0 +1,79 @@
+// The RockFS keystore (paper §4.1, §5.4): the file holding everything a
+// client needs to talk to the clouds — cloud storage credentials SC_i,
+// coordination service credentials CC_i, the user's private key PR_U, the
+// cache session key S_U and the FssAgg signing state. It exists in plaintext
+// ONLY in RAM. At rest it is AES-256-sealed under a key derived from a PVSS
+// secret, and that secret is shared among n share holders (device,
+// coordination service, external memory) with threshold k, so that:
+//   * an attacker reading any k-1 holders learns nothing (T3 for creds),
+//   * ransomware deleting/encrypting the device share cannot lock the user
+//     out — coord + external shares still reconstruct (T2),
+//   * corrupted shares are detected before use (PVSS verifyS).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/token.h"
+#include "common/result.h"
+#include "crypto/drbg.h"
+#include "crypto/signature.h"
+#include "fssagg/fssagg.h"
+#include "secretshare/pvss.h"
+
+namespace rockfs::core {
+
+/// Plaintext keystore contents (Table 1's client-side entries).
+struct Keystore {
+  std::string user_id;
+  Bytes user_private_key;                         // PR_U (32-byte scalar)
+  std::vector<cloud::AccessToken> file_tokens;    // t_u, one per cloud
+  std::vector<cloud::AccessToken> log_tokens;     // t_l, one per cloud
+  Bytes session_key;                              // S_U for the local cache
+  std::int64_t session_key_expiry_us = 0;
+  Bytes fssagg_key_a;                             // current A_i
+  Bytes fssagg_key_b;                             // current B_i
+
+  Bytes serialize() const;
+  static Result<Keystore> deserialize(BytesView b);
+};
+
+/// One holder of a PVSS share: a named secp256k1 keypair. The *private* key
+/// lives wherever the share is kept (device disk, coordination service,
+/// USB stick); the deal itself is public.
+struct ShareHolder {
+  std::string name;
+  crypto::KeyPair keys;
+};
+
+/// Everything public that the setup produces; stored in the coordination
+/// service (and replicated wherever convenient — it is not secret).
+struct SealedKeystore {
+  secretshare::PvssDeal deal;
+  Bytes ciphertext;  // sealed Keystore
+
+  Bytes serialize() const;
+  static Result<SealedKeystore> deserialize(BytesView b);
+};
+
+/// Splits and seals a keystore among `holders` with threshold k. Per the
+/// paper's §5.4, "to recover the keystore it is not enough to reveal the
+/// secrets since this file is also encrypted, requiring a user password":
+/// when `password` is non-empty it is folded into the sealing key, so an
+/// attacker needs BOTH k shares and the password.
+SealedKeystore seal_keystore(const Keystore& keystore,
+                             const std::vector<ShareHolder>& holders, std::size_t k,
+                             crypto::Drbg& drbg, const std::string& password = {});
+
+/// Reconstructs the keystore from >= k holders (paper's login / recovery
+/// flow): decrypt each holder's share, verifyS it, combine, unseal.
+/// Fails with kIntegrity when shares or the ciphertext were tampered with,
+/// or when the password is wrong.
+Result<Keystore> unseal_keystore(const SealedKeystore& sealed,
+                                 const std::vector<ShareHolder>& available_holders,
+                                 const std::vector<crypto::Point>& all_holder_pubs,
+                                 std::size_t k, crypto::Drbg& drbg,
+                                 const std::string& password = {});
+
+}  // namespace rockfs::core

@@ -1,0 +1,129 @@
+// The RockFS operation log (paper §3.2). Every file-mutating close()
+// produces one log entry with two halves:
+//
+//   data part  ld_fu — the binary delta (or whole file), written to the
+//     cloud-of-clouds through DepSky's CA protocol under the *log append
+//     token* t_l. The CA protocol supplies exactly the paper's per-entry
+//     mechanics: encryption under a fresh key S_fu, the key secret-shared
+//     across clouds, the ciphertext erasure-coded (one share per cloud).
+//
+//   metadata part lm_fu — a tuple in the coordination service carrying
+//     timestamp, user, path, version, operation, payload digest and the
+//     FssAgg per-entry MACs; the running FssAgg aggregates are replicated
+//     there too. Integrity of the whole stream is verified from A_1/B_1 at
+//     recovery time (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "coord/service.h"
+#include "depsky/client.h"
+#include "diff/binary_diff.h"
+#include "fssagg/fssagg.h"
+#include "sim/timed.h"
+
+namespace rockfs::core {
+
+/// One log entry's metadata half (lm_fu).
+struct LogRecord {
+  std::uint64_t seq = 0;       // position in the user's log stream
+  std::string user;
+  std::string path;
+  std::uint64_t version = 0;   // file version this operation produced
+  std::string op;              // "create" | "update" | "delete" | "recover"
+  bool whole_file = false;     // ld_fu holds the full file, not a delta
+  std::uint64_t payload_size = 0;
+  Bytes payload_hash;          // SHA-256 of the serialized LogDelta
+  std::int64_t timestamp_us = 0;
+  fssagg::FssAggTag tag;
+
+  /// Canonical bytes MACed by FssAgg (everything except the tag).
+  Bytes mac_payload() const;
+
+  coord::Tuple to_tuple() const;
+  static Result<LogRecord> from_tuple(const coord::Tuple& t);
+
+  /// DepSky unit name of the data half.
+  std::string data_unit() const;
+};
+
+/// Writer side, embedded in the RockFS agent. Holds the evolving FssAgg
+/// signer state in RAM only.
+class LogService {
+ public:
+  LogService(std::string user_id, std::shared_ptr<depsky::DepSkyClient> storage,
+             std::vector<cloud::AccessToken> log_tokens,
+             std::shared_ptr<coord::CoordinationService> coordination,
+             sim::SimClockPtr clock, fssagg::FssAggKeys initial_keys);
+
+  /// Resumes an existing chain (signer state rebuilt from the stored
+  /// aggregates and the key evolved `count` times from the initial keys).
+  LogService(std::string user_id, std::shared_ptr<depsky::DepSkyClient> storage,
+             std::vector<cloud::AccessToken> log_tokens,
+             std::shared_ptr<coord::CoordinationService> coordination,
+             sim::SimClockPtr clock, fssagg::FssAggSigner resumed_signer);
+
+  /// Appends one entry for a close()/unlink(). Returns the composed delay of
+  /// the whole log pipeline WITHOUT advancing the clock, so the caller can
+  /// run it in parallel with the file upload (§6.1 optimization (2)).
+  sim::Timed<Status> append(const std::string& path, const Bytes& old_content,
+                            const Bytes& new_content, std::uint64_t version,
+                            const std::string& op);
+
+  std::uint64_t next_seq() const noexcept { return signer_.count(); }
+  const std::string& user() const noexcept { return user_id_; }
+
+  /// Tuple tag used for log metadata ("rocklog").
+  static const char* record_tag();
+  /// Tuple tag used for the replicated aggregates ("rockagg").
+  static const char* aggregate_tag();
+
+  /// Enables LZ compression of ld_fu payloads (paper §6.2 future work).
+  /// Compression is applied only when it actually shrinks the payload.
+  void set_compression(bool enabled) noexcept { compress_ = enabled; }
+  bool compression() const noexcept { return compress_; }
+
+ private:
+  std::string user_id_;
+  std::shared_ptr<depsky::DepSkyClient> storage_;
+  std::vector<cloud::AccessToken> log_tokens_;
+  std::shared_ptr<coord::CoordinationService> coordination_;
+  sim::SimClockPtr clock_;
+  fssagg::FssAggSigner signer_;
+  bool compress_ = false;
+};
+
+/// Payload envelope: a one-byte codec tag (0 = raw, 1 = LZ) ahead of the
+/// serialized LogDelta. wrap chooses compression only when it helps.
+Bytes wrap_log_payload(BytesView serialized_delta, bool try_compress);
+Result<Bytes> unwrap_log_payload(BytesView payload);
+
+/// Builds a LogService that CONTINUES the user's existing chain if the
+/// coordination service already records appended entries (login after
+/// logout, admin service restart): the keys are evolved `count` times from
+/// the initial keys and the aggregates are adopted. Advances the clock by
+/// the aggregate lookup.
+std::unique_ptr<LogService> make_resumed_log_service(
+    const std::string& user_id, std::shared_ptr<depsky::DepSkyClient> storage,
+    std::vector<cloud::AccessToken> log_tokens,
+    std::shared_ptr<coord::CoordinationService> coordination, sim::SimClockPtr clock,
+    const fssagg::FssAggKeys& initial_keys);
+
+/// Reads the aggregate tuple for `user` (shared by verifier and tests).
+struct StoredAggregates {
+  Bytes agg_a;
+  Bytes agg_b;
+  std::uint64_t count = 0;
+};
+sim::Timed<Result<StoredAggregates>> read_aggregates(coord::CoordinationService& coord,
+                                                     const std::string& user);
+
+/// Reads all of `user`'s log records ordered by seq (does not verify).
+sim::Timed<Result<std::vector<LogRecord>>> read_log_records(
+    coord::CoordinationService& coord, const std::string& user);
+
+}  // namespace rockfs::core

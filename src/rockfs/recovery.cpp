@@ -1,0 +1,404 @@
+#include "rockfs/recovery.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace rockfs::core {
+
+namespace {
+
+// Tuple layout mirrored from scfs.cpp (the recovery service updates the
+// file's inode after re-uploading it).
+constexpr const char* kInodeTag = "scfs-inode";
+
+coord::Template inode_pattern(const std::string& path) {
+  return coord::Template::of({kInodeTag, path, "*", "*", "*", "*"});
+}
+
+// Local patch-application throughput (client CPU), for MTTR realism.
+constexpr double kPatchBytesPerSec = 400e6;
+
+sim::SimClock::Micros patch_cost(std::size_t bytes) {
+  return 200 + static_cast<sim::SimClock::Micros>(1e6 * static_cast<double>(bytes) /
+                                                  kPatchBytesPerSec);
+}
+
+}  // namespace
+
+RecoveryService::RecoveryService(std::string user_id, RecoveryConfig config,
+                                 std::shared_ptr<depsky::DepSkyClient> admin_storage,
+                                 std::shared_ptr<coord::CoordinationService> coordination,
+                                 sim::SimClockPtr clock)
+    : user_id_(std::move(user_id)),
+      config_(std::move(config)),
+      storage_(std::move(admin_storage)),
+      coordination_(std::move(coordination)),
+      clock_(std::move(clock)) {
+  if (config_.log_recovery_ops) {
+    // The administrator's recovery actions form their own forward-secure
+    // stream under an admin chain ("admin:<user>"): the user agent's chain
+    // keys evolve in its RAM and are not available to the admin.
+    crypto::Drbg admin_drbg(to_bytes("rockfs.recovery." + user_id_),
+                            config_.user_chain_keys.a1);
+    admin_chain_keys_ = fssagg::fssagg_keygen(admin_drbg);
+    // A previous service instance may already have written admin records;
+    // resume the chain from the stored aggregates instead of restarting it.
+    recovery_log_ = make_resumed_log_service("admin:" + user_id_, storage_,
+                                             config_.admin_tokens, coordination_, clock_,
+                                             admin_chain_keys_);
+  }
+}
+
+Result<LogAudit> RecoveryService::audit_admin_log() {
+  auto records = read_log_records(*coordination_, "admin:" + user_id_);
+  auto aggregates = read_aggregates(*coordination_, "admin:" + user_id_);
+  clock_->advance_us(records.delay + aggregates.delay);
+  LogAudit audit;
+  if (!records.value.ok()) return Error{records.value.error()};
+  audit.records = std::move(*records.value);
+  if (!aggregates.value.ok()) {
+    if (audit.records.empty() && aggregates.value.code() == ErrorCode::kNotFound) {
+      audit.report.ok = true;
+      return audit;
+    }
+    return Error{aggregates.value.error()};
+  }
+  std::vector<fssagg::TaggedEntry> tagged;
+  for (const auto& r : audit.records) tagged.push_back({r.mac_payload(), r.tag});
+  audit.report = fssagg::fssagg_verify(admin_chain_keys_, tagged, aggregates.value->agg_a,
+                                       aggregates.value->agg_b, aggregates.value->count);
+  for (const std::size_t idx : audit.report.corrupt_entries) {
+    audit.discarded_seqs.insert(audit.records[idx].seq);
+  }
+  return audit;
+}
+
+RecoveryService::SnapshotBaseline RecoveryService::load_snapshot(
+    const std::string& path, sim::SimClock::Micros* delay) {
+  SnapshotBaseline baseline;
+  auto admin_audit = audit_admin_log();
+  if (!admin_audit.ok()) return baseline;
+  // Latest valid snapshot record for this path.
+  const LogRecord* snap = nullptr;
+  for (const auto& r : admin_audit->records) {
+    if (r.op != "snapshot" || r.path != path) continue;
+    if (admin_audit->discarded_seqs.contains(r.seq)) continue;
+    if (snap == nullptr || r.seq > snap->seq) snap = &r;
+  }
+  if (snap == nullptr) return baseline;
+  auto payload = storage_->read(config_.admin_tokens, snap->data_unit());
+  *delay += payload.delay;
+  if (!payload.value.ok()) return baseline;
+  if (!ct_equal(crypto::sha256(*payload.value), snap->payload_hash)) return baseline;
+  auto unwrapped = unwrap_log_payload(*payload.value);
+  if (!unwrapped.ok()) return baseline;
+  auto delta = diff::LogDelta::deserialize(*unwrapped);
+  if (!delta.ok() || !delta->whole_file) return baseline;
+  baseline.content = std::move(delta->payload);
+  baseline.watermark = snap->version;  // the user-log seq covered by the snapshot
+  baseline.found = true;
+  return baseline;
+}
+
+Result<LogAudit> RecoveryService::audit_log() {
+  sim::SimClock::Micros delay = 0;
+
+  auto records = read_log_records(*coordination_, user_id_);
+  delay += records.delay;
+  if (!records.value.ok()) {
+    clock_->advance_us(delay);
+    return Error{records.value.error()};
+  }
+  auto aggregates = read_aggregates(*coordination_, user_id_);
+  delay += aggregates.delay;
+  clock_->advance_us(delay);
+
+  LogAudit audit;
+  audit.records = std::move(*records.value);
+
+  if (!aggregates.value.ok()) {
+    if (audit.records.empty() && aggregates.value.code() == ErrorCode::kNotFound) {
+      // No log at all: trivially clean.
+      audit.report.ok = true;
+      return audit;
+    }
+    return Error{aggregates.value.error()};
+  }
+
+  std::vector<fssagg::TaggedEntry> tagged;
+  tagged.reserve(audit.records.size());
+  for (const auto& r : audit.records) tagged.push_back({r.mac_payload(), r.tag});
+  audit.report =
+      fssagg::fssagg_verify(config_.user_chain_keys, tagged, aggregates.value->agg_a,
+                            aggregates.value->agg_b, aggregates.value->count);
+  for (const std::size_t idx : audit.report.corrupt_entries) {
+    audit.discarded_seqs.insert(audit.records[idx].seq);
+  }
+  return audit;
+}
+
+Result<FileRecovery> RecoveryService::recover_one(const LogAudit& audit,
+                                                  const std::string& path,
+                                                  const std::set<std::uint64_t>& malicious,
+                                                  sim::SimClock::Micros* delay,
+                                                  bool apply, bool use_snapshots) {
+  FileRecovery result;
+  result.path = path;
+
+  // A snapshot baseline (if one exists) replaces the archived prefix of the
+  // log: recovery starts from it and replays only newer entries.
+  const SnapshotBaseline baseline =
+      use_snapshots ? load_snapshot(path, delay) : SnapshotBaseline{};
+
+  // Select this file's entries in log order.
+  std::vector<const LogRecord*> entries;
+  for (const auto& r : audit.records) {
+    if (r.path == path) entries.push_back(&r);
+  }
+  if (entries.empty() && !baseline.found) {
+    return Error{ErrorCode::kNotFound, "recovery: no log entries for " + path};
+  }
+
+  // Step 2: batch-download all surviving data halves in parallel.
+  struct Fetched {
+    const LogRecord* record;
+    Result<diff::LogDelta> delta;
+  };
+  std::vector<Fetched> fetched;
+  std::vector<sim::SimClock::Micros> download_delays;
+  for (const LogRecord* r : entries) {
+    if (baseline.found && r->seq <= baseline.watermark) continue;  // folded in
+    if (audit.discarded_seqs.contains(r->seq)) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    if (malicious.contains(r->seq)) {
+      ++result.skipped_malicious;
+      continue;
+    }
+    auto payload = storage_->read(config_.admin_tokens, r->data_unit());
+    if (!payload.value.ok() && payload.value.code() == ErrorCode::kUnavailable) {
+      // Shares may have been archived by a compaction whose snapshot was
+      // later lost: fall back to cold storage (slow, but nothing is gone).
+      payload = storage_->read_archived(config_.admin_tokens, r->data_unit());
+    }
+    download_delays.push_back(payload.delay);
+    if (!payload.value.ok()) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    // Cross-check the data half against the MAC-verified metadata.
+    if (!ct_equal(crypto::sha256(*payload.value), r->payload_hash)) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    auto unwrapped = unwrap_log_payload(*payload.value);
+    if (!unwrapped.ok()) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    fetched.push_back({r, diff::LogDelta::deserialize(*unwrapped)});
+  }
+  *delay += sim::parallel_delay(download_delays);
+
+  // Step 3/4: selective re-execution.
+  Bytes content = baseline.content;
+  if (baseline.found) ++result.applied;  // the snapshot itself
+  for (auto& f : fetched) {
+    if (!f.delta.ok()) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    if (f.record->op == "delete") {
+      content.clear();
+      ++result.applied;
+      continue;
+    }
+    auto next = diff::apply_log_delta(content, *f.delta);
+    *delay += patch_cost(content.size() + f.delta->payload.size());
+    if (!next.ok()) {
+      // A delta that no longer applies (its base included a skipped
+      // malicious write). Whole-file entries always apply; for deltas we
+      // must drop the entry, as the paper's selective re-execution does.
+      ++result.skipped_invalid;
+      continue;
+    }
+    content = std::move(*next);
+    ++result.applied;
+  }
+  result.content = std::move(content);
+  if (!apply) return result;
+
+  // Step 5: push the recovered version back and bump the inode.
+  const std::string unit = "files/" + user_id_ + path;
+  auto up = storage_->write(config_.admin_tokens, unit, result.content);
+  *delay += up.delay;
+  if (!up.value.ok()) return Error{up.value.error()};
+
+  auto head = storage_->head_version(config_.admin_tokens, unit);
+  const std::uint64_t version = head.value.ok() ? *head.value : 1;
+  auto meta = coordination_->replace(
+      inode_pattern(path),
+      {kInodeTag, path, std::to_string(version), std::to_string(result.content.size()),
+       user_id_, std::to_string(clock_->now_us())});
+  *delay += meta.delay;
+  if (!meta.value.ok()) return Error{meta.value.error()};
+
+  // The recovery operation is itself logged (and can never be erased).
+  if (recovery_log_) {
+    auto logged = recovery_log_->append(path, {}, result.content, version, "recover");
+    *delay += logged.delay;
+    if (!logged.value.ok()) return Error{logged.value.error()};
+  }
+  return result;
+}
+
+Result<FileRecovery> RecoveryService::recover_file(const std::string& path,
+                                                   const std::set<std::uint64_t>& malicious) {
+  const auto start = clock_->now_us();
+  auto audit = audit_log();
+  if (!audit.ok()) return Error{audit.error()};
+  if (audit->report.aggregate_mismatch || audit->report.count_mismatch) {
+    return Error{ErrorCode::kIntegrity,
+                 "recovery: log stream integrity violated (truncation or reordering)"};
+  }
+  sim::SimClock::Micros delay = 0;
+  auto result = recover_one(*audit, path, malicious, &delay);
+  clock_->advance_us(delay);
+  last_recovery_us_ = clock_->now_us() - start;
+  return result;
+}
+
+Result<FileRecovery> RecoveryService::recover_file_at(const std::string& path,
+                                                      std::int64_t as_of_us) {
+  const auto start = clock_->now_us();
+  auto audit = audit_log();
+  if (!audit.ok()) return Error{audit.error()};
+  if (audit->report.aggregate_mismatch || audit->report.count_mismatch) {
+    return Error{ErrorCode::kIntegrity,
+                 "recovery: log stream integrity violated (truncation or reordering)"};
+  }
+  // Everything after the cut-off is treated exactly like a malicious entry:
+  // skipped during selective re-execution.
+  std::set<std::uint64_t> after_cutoff;
+  for (const auto& r : audit->records) {
+    if (r.path == path && r.timestamp_us > as_of_us) after_cutoff.insert(r.seq);
+  }
+  sim::SimClock::Micros delay = 0;
+  auto result = recover_one(*audit, path, after_cutoff, &delay, /*apply=*/true,
+                            /*use_snapshots=*/false);
+  clock_->advance_us(delay);
+  last_recovery_us_ = clock_->now_us() - start;
+  return result;
+}
+
+Result<RecoveryService::CompactionReport> RecoveryService::compact_file(
+    const std::string& path) {
+  if (!recovery_log_) {
+    return Error{ErrorCode::kInvalidArgument, "compaction requires log_recovery_ops"};
+  }
+  auto audit = audit_log();
+  if (!audit.ok()) return Error{audit.error()};
+  if (audit->report.aggregate_mismatch || audit->report.count_mismatch) {
+    return Error{ErrorCode::kIntegrity, "compaction: log stream integrity violated"};
+  }
+
+  // Reconstruct the file's current content from the full log (no malicious
+  // set: compaction preserves exactly what is there).
+  sim::SimClock::Micros delay = 0;
+  auto current = recover_one(*audit, path, {}, &delay, /*apply=*/false);
+  if (!current.ok()) return Error{current.error()};
+
+  // Watermark: the newest user-log seq folded into this snapshot.
+  std::uint64_t watermark = 0;
+  std::vector<const LogRecord*> entries;
+  for (const auto& r : audit->records) {
+    if (r.path == path) {
+      watermark = std::max(watermark, r.seq);
+      entries.push_back(&r);
+    }
+  }
+
+  // Write the snapshot baseline into the admin chain FIRST (data before the
+  // archival, so a crash mid-compaction never loses information).
+  auto logged = recovery_log_->append(path, {}, current->content, watermark, "snapshot");
+  delay += logged.delay;
+  if (!logged.value.ok()) return Error{logged.value.error()};
+
+  // Archive the folded entries' payload shares to the cold tier.
+  CompactionReport report;
+  report.path = path;
+  std::vector<sim::SimClock::Micros> archive_delays;
+  for (const LogRecord* r : entries) {
+    bool archived_any = false;
+    for (std::size_t i = 0; i < config_.admin_tokens.size(); ++i) {
+      const std::string key = r->data_unit() + ".v1.s" + std::to_string(i);
+      auto& cloud = *storage_->config().clouds[i];
+      const std::uint64_t before = cloud.stored_bytes();
+      auto archived = cloud.archive(config_.admin_tokens[i], key);
+      archive_delays.push_back(archived.delay);
+      if (archived.value.ok()) {
+        archived_any = true;
+        report.hot_bytes_freed += before - cloud.stored_bytes();
+      }
+    }
+    if (archived_any) ++report.entries_archived;
+  }
+  delay += sim::parallel_delay(archive_delays);
+  clock_->advance_us(delay);
+  return report;
+}
+
+Result<std::vector<RecoveryService::CompactionReport>> RecoveryService::compact_all() {
+  auto audit = audit_log();
+  if (!audit.ok()) return Error{audit.error()};
+  std::set<std::string> paths;
+  for (const auto& r : audit->records) paths.insert(r.path);
+  std::vector<CompactionReport> reports;
+  for (const auto& path : paths) {
+    auto report = compact_file(path);
+    if (report.ok()) reports.push_back(std::move(*report));
+  }
+  return reports;
+}
+
+Result<std::vector<FileRecovery>> RecoveryService::recover_all(
+    const std::set<std::uint64_t>& malicious, const std::vector<std::string>& priority) {
+  const auto start = clock_->now_us();
+  auto audit = audit_log();
+  if (!audit.ok()) return Error{audit.error()};
+  if (audit->report.aggregate_mismatch || audit->report.count_mismatch) {
+    return Error{ErrorCode::kIntegrity,
+                 "recovery: log stream integrity violated (truncation or reordering)"};
+  }
+
+  // Enumerate files: priority list first, then everything else in log order.
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  for (const auto& p : priority) {
+    if (seen.insert(p).second) order.push_back(p);
+  }
+  for (const auto& r : audit->records) {
+    if (seen.insert(r.path).second) order.push_back(r.path);
+  }
+
+  std::vector<FileRecovery> results;
+  results.reserve(order.size());
+  sim::SimClock::Micros delay = 0;
+  for (const auto& path : order) {
+    auto one = recover_one(*audit, path, malicious, &delay);
+    if (!one.ok()) {
+      LOG_WARN("recovery of " << path << " failed: " << one.error().message);
+      continue;
+    }
+    results.push_back(std::move(*one));
+  }
+  clock_->advance_us(delay);
+  last_recovery_us_ = clock_->now_us() - start;
+  return results;
+}
+
+}  // namespace rockfs::core

@@ -1,0 +1,145 @@
+// Administrator-side storage recovery (paper §3.3). Undoes unintended file
+// operations without losing the valid ones:
+//
+//   1. fetch the user's log metadata from the coordination service and check
+//      the FssAgg chain from A_1/B_1 — corrupted entries are discarded, and
+//      truncation / reordering / count mismatch aborts with kIntegrity;
+//   2. download the data halves (ld_fu) of the surviving entries from the
+//      cloud-of-clouds in one parallel batch (the §6.3 optimization) and
+//      discard any whose digest disagrees with the verified metadata;
+//   3. selective re-execution: rebuild the file by applying every valid,
+//      non-malicious delta in log order (whole-file entries reset the state,
+//      delete entries empty it);
+//   4. upload the recovered content as a new file version and log the
+//      recovery itself (recoveries are never erasable, §3.3).
+//
+// Which entries are "malicious" is an input — the paper delegates that to
+// intrusion detection (§3.3 step 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "coord/service.h"
+#include "depsky/client.h"
+#include "fssagg/fssagg.h"
+#include "rockfs/logservice.h"
+#include "sim/timed.h"
+
+namespace rockfs::core {
+
+struct RecoveryConfig {
+  std::string admin_id = "admin";
+  /// Initial FssAgg keys (A_1, B_1) the administrator exchanged at setup.
+  fssagg::FssAggKeys user_chain_keys;
+  /// Tokens granting admin access at every cloud.
+  std::vector<cloud::AccessToken> admin_tokens;
+  /// Whether recovery operations are themselves logged (paper: always).
+  bool log_recovery_ops = true;
+};
+
+/// Outcome of verifying one user's whole log.
+struct LogAudit {
+  std::vector<LogRecord> records;           // all records, seq order
+  fssagg::FssAggVerifyReport report;        // chain verification result
+  std::set<std::uint64_t> discarded_seqs;   // per-entry MAC failures
+};
+
+/// Outcome of recovering one file.
+struct FileRecovery {
+  std::string path;
+  Bytes content;                    // recovered bytes
+  std::size_t applied = 0;          // log entries re-executed
+  std::size_t skipped_malicious = 0;
+  std::size_t skipped_invalid = 0;  // MAC- or digest-corrupt entries
+};
+
+class RecoveryService {
+ public:
+  RecoveryService(std::string user_id, RecoveryConfig config,
+                  std::shared_ptr<depsky::DepSkyClient> admin_storage,
+                  std::shared_ptr<coord::CoordinationService> coordination,
+                  sim::SimClockPtr clock);
+
+  /// Step 1: fetch + FssAgg-verify the user's log. Advances the clock.
+  Result<LogAudit> audit_log();
+
+  /// Steps 2-4 for one file. `malicious` holds the seq numbers flagged by
+  /// intrusion detection. Advances the clock by the full recovery time.
+  Result<FileRecovery> recover_file(const std::string& path,
+                                    const std::set<std::uint64_t>& malicious);
+
+  /// Recovers every file that appears in the log, most-urgent first when a
+  /// priority list is given (paper §6.3: files become available gradually).
+  /// Returns per-file results in completion order.
+  Result<std::vector<FileRecovery>> recover_all(
+      const std::set<std::uint64_t>& malicious,
+      const std::vector<std::string>& priority = {});
+
+  /// Point-in-time recovery: rebuilds the file as it stood at virtual time
+  /// `as_of_us` (every valid entry with timestamp <= as_of_us is replayed,
+  /// later ones are ignored). Useful when intrusion detection can only date
+  /// the compromise rather than pinpoint the malicious entries.
+  Result<FileRecovery> recover_file_at(const std::string& path, std::int64_t as_of_us);
+
+  /// Total virtual time consumed by the last recover_* call (the MTTR).
+  sim::SimClock::Micros last_recovery_us() const noexcept { return last_recovery_us_; }
+
+  // ---- snapshot / log compaction (paper footnote 3 and §6.2 future work) ----
+  //
+  // compact_file writes a whole-file *snapshot* baseline into the admin
+  // chain and archives the file's existing log-entry payloads to the cold
+  // tier. Hot log storage shrinks; the log's append-only metadata (and hence
+  // FssAgg verifiability) is untouched; recovery starts from the newest
+  // snapshot and replays only the entries after its watermark. Archived
+  // payloads remain reachable through cold storage as a last resort.
+
+  struct CompactionReport {
+    std::string path;
+    std::size_t entries_archived = 0;
+    std::uint64_t hot_bytes_freed = 0;
+  };
+  Result<CompactionReport> compact_file(const std::string& path);
+  /// Compacts every file found in the user's log.
+  Result<std::vector<CompactionReport>> compact_all();
+
+  /// Verified view of the admin chain ("recover"/"snapshot" records).
+  Result<LogAudit> audit_admin_log();
+
+ private:
+  /// Latest valid snapshot baseline for `path`, if any. Returns the content
+  /// and the user-log seq watermark it covers (entries with seq <= watermark
+  /// are folded into the snapshot).
+  struct SnapshotBaseline {
+    Bytes content;
+    std::uint64_t watermark = 0;
+    bool found = false;
+  };
+  SnapshotBaseline load_snapshot(const std::string& path, sim::SimClock::Micros* delay);
+  /// Shared machinery: recovers one file given an already-audited log. When
+  /// `apply` is false the content is only reconstructed (used by
+  /// compact_file), without re-uploading or logging a recovery record.
+  /// `use_snapshots=false` forces a full replay from the original entries
+  /// (point-in-time recovery must ignore baselines taken after the cut-off;
+  /// archived payloads are then fetched from cold storage).
+  Result<FileRecovery> recover_one(const LogAudit& audit, const std::string& path,
+                                   const std::set<std::uint64_t>& malicious,
+                                   sim::SimClock::Micros* delay, bool apply = true,
+                                   bool use_snapshots = true);
+
+  std::string user_id_;
+  RecoveryConfig config_;
+  std::shared_ptr<depsky::DepSkyClient> storage_;
+  std::shared_ptr<coord::CoordinationService> coordination_;
+  sim::SimClockPtr clock_;
+  fssagg::FssAggKeys admin_chain_keys_;
+  std::unique_ptr<LogService> recovery_log_;  // the admin's own chain
+  sim::SimClock::Micros last_recovery_us_ = 0;
+};
+
+}  // namespace rockfs::core

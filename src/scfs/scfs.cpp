@@ -1,0 +1,424 @@
+#include "scfs/scfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rockfs::scfs {
+
+namespace {
+
+// Tuple layout for file metadata in the coordination service:
+//   ("scfs-inode", path, version, size, owner, modified_us)
+constexpr const char* kInodeTag = "scfs-inode";
+constexpr const char* kLockTag = "scfs-lock";
+
+coord::Tuple inode_tuple(const FileStat& s) {
+  return {kInodeTag, s.path, std::to_string(s.version), std::to_string(s.size), s.owner,
+          std::to_string(s.modified_us)};
+}
+
+Result<FileStat> parse_inode(const coord::Tuple& t) {
+  if (t.size() != 6 || t[0] != kInodeTag) {
+    return Error{ErrorCode::kCorrupted, "scfs: malformed inode tuple"};
+  }
+  FileStat s;
+  s.path = t[1];
+  try {
+    s.version = std::stoull(t[2]);
+    s.size = std::stoull(t[3]);
+    s.owner = t[4];
+    s.modified_us = std::stoll(t[5]);
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kCorrupted, "scfs: malformed inode fields"};
+  }
+  return s;
+}
+
+coord::Template inode_pattern(const std::string& path) {
+  return coord::Template::of({kInodeTag, path, "*", "*", "*", "*"});
+}
+
+/// Identity cache transform: what stock SCFS does (plaintext cache on disk).
+class PassthroughTransform final : public CacheTransform {
+ public:
+  Bytes protect(const std::string&, std::uint64_t, BytesView plaintext) override {
+    return Bytes(plaintext.begin(), plaintext.end());
+  }
+  Result<Bytes> unprotect(const std::string&, std::uint64_t, BytesView cached) override {
+    return Bytes(cached.begin(), cached.end());
+  }
+};
+
+}  // namespace
+
+Scfs::Scfs(std::shared_ptr<depsky::DepSkyClient> storage,
+           std::vector<cloud::AccessToken> storage_tokens,
+           std::shared_ptr<coord::CoordinationService> coordination, sim::SimClockPtr clock,
+           ScfsOptions options)
+    : storage_(std::move(storage)),
+      storage_tokens_(std::move(storage_tokens)),
+      coordination_(std::move(coordination)),
+      clock_(std::move(clock)),
+      options_(std::move(options)),
+      transform_(std::make_shared<PassthroughTransform>()) {}
+
+void Scfs::set_cache_transform(std::shared_ptr<CacheTransform> transform) {
+  transform_ = std::move(transform);
+  cache_.clear();  // old representations are unreadable under the new transform
+}
+
+void Scfs::set_close_interceptor(CloseInterceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
+void Scfs::clear_cache() { cache_.clear(); }
+
+std::optional<Bytes> Scfs::cached_raw(const std::string& path) const {
+  const auto it = cache_.find(path);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second.raw;
+}
+
+void Scfs::poke_cache(const std::string& path, Bytes raw) {
+  cache_[path].raw = std::move(raw);
+}
+
+std::string Scfs::unit_for(const std::string& path) const {
+  return "files/" + options_.user_id + path;
+}
+
+sim::SimClock::Micros Scfs::local_cost(std::size_t bytes) const {
+  return options_.local_op_cost_us +
+         static_cast<sim::SimClock::Micros>(1e6 * static_cast<double>(bytes) /
+                                            options_.local_disk_bytes_per_sec);
+}
+
+Result<FileStat> Scfs::stat_nocharge(const std::string& path,
+                                     sim::SimClock::Micros* delay) {
+  auto r = coordination_->rdp(inode_pattern(path));
+  if (delay != nullptr) *delay += r.delay;
+  if (!r.value.ok()) return Error{r.value.error()};
+  if (!r.value->has_value()) {
+    return Error{ErrorCode::kNotFound, "scfs: no such file: " + path};
+  }
+  return parse_inode(**r.value);
+}
+
+Result<Scfs::Fd> Scfs::create(const std::string& path) {
+  sim::SimClock::Micros delay = local_cost(0);
+  FileStat s;
+  s.path = path;
+  s.version = 0;  // becomes 1 at first close
+  s.size = 0;
+  s.owner = options_.user_id;
+  s.modified_us = clock_->now_us();
+  auto cas = coordination_->cas(inode_pattern(path), inode_tuple(s));
+  delay += cas.delay;
+  clock_->advance_us(delay);
+  if (!cas.value.ok()) return Error{cas.value.error()};
+  if (!*cas.value) {
+    return Error{ErrorCode::kConflict, "scfs: file exists: " + path};
+  }
+  OpenFile of;
+  of.path = path;
+  of.version = 0;
+  of.dirty = true;  // even an empty create syncs on close
+  of.created = true;
+  const Fd fd = next_fd_++;
+  open_files_[fd] = std::move(of);
+  return fd;
+}
+
+Result<Scfs::Fd> Scfs::open(const std::string& path) {
+  sim::SimClock::Micros delay = local_cost(0);
+  auto st = stat_nocharge(path, &delay);
+  if (!st.ok()) {
+    clock_->advance_us(delay);
+    return Error{st.error()};
+  }
+
+  OpenFile of;
+  of.path = path;
+  of.version = st->version;
+
+  bool loaded = false;
+  if (options_.use_cache) {
+    const auto it = cache_.find(path);
+    if (it != cache_.end() && it->second.version == st->version) {
+      delay += local_cost(it->second.raw.size());
+      auto plain = transform_->unprotect(path, st->version, it->second.raw);
+      if (plain.ok()) {
+        of.content = std::move(*plain);
+        loaded = true;
+      } else {
+        // Tampered or stale cache: discard and fall through to a cloud fetch
+        // (the §4.2.2 integrity path).
+        LOG_WARN("scfs: cache integrity failure for " << path << ", refetching");
+        cache_.erase(it);
+      }
+    }
+  }
+  if (!loaded && st->version > 0) {
+    auto fetched = storage_->read(storage_tokens_, unit_for(path));
+    delay += fetched.delay;
+    if (!fetched.value.ok()) {
+      clock_->advance_us(delay);
+      return Error{fetched.value.error()};
+    }
+    of.content = std::move(*fetched.value);
+    if (options_.use_cache) {
+      delay += local_cost(of.content.size());
+      cache_[path] = {transform_->protect(path, st->version, of.content), st->version};
+    }
+  }
+  of.original = of.content;
+  clock_->advance_us(delay);
+  const Fd fd = next_fd_++;
+  open_files_[fd] = std::move(of);
+  return fd;
+}
+
+Result<Bytes> Scfs::read(Fd fd, std::size_t offset, std::size_t length) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return Error{ErrorCode::kInvalidArgument, "scfs: bad fd"};
+  const Bytes& c = it->second.content;
+  if (offset >= c.size()) return Bytes{};
+  const std::size_t take = std::min(length, c.size() - offset);
+  clock_->advance_us(local_cost(take) - options_.local_op_cost_us +
+                     options_.local_op_cost_us / 8);
+  return Bytes(c.begin() + static_cast<std::ptrdiff_t>(offset),
+               c.begin() + static_cast<std::ptrdiff_t>(offset + take));
+}
+
+Status Scfs::write(Fd fd, std::size_t offset, BytesView data) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return {ErrorCode::kInvalidArgument, "scfs: bad fd"};
+  Bytes& c = it->second.content;
+  if (offset + data.size() > c.size()) c.resize(offset + data.size());
+  std::copy(data.begin(), data.end(), c.begin() + static_cast<std::ptrdiff_t>(offset));
+  it->second.dirty = true;
+  clock_->advance_us(local_cost(data.size()) - options_.local_op_cost_us +
+                     options_.local_op_cost_us / 8);
+  return {};
+}
+
+Status Scfs::append(Fd fd, BytesView data) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return {ErrorCode::kInvalidArgument, "scfs: bad fd"};
+  return write(fd, it->second.content.size(), data);
+}
+
+Status Scfs::truncate(Fd fd, std::size_t new_size) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return {ErrorCode::kInvalidArgument, "scfs: bad fd"};
+  it->second.content.resize(new_size);
+  it->second.dirty = true;
+  clock_->advance_us(options_.local_op_cost_us / 8);
+  return {};
+}
+
+sim::Timed<Status> Scfs::close_timed(Fd fd) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    return {Status{ErrorCode::kInvalidArgument, "scfs: bad fd"}, 0};
+  }
+  OpenFile of = std::move(it->second);
+  open_files_.erase(it);
+
+  const sim::SimClock::Micros start_us = clock_->now_us();
+
+  if (!of.dirty) {
+    const auto local = local_cost(0);
+    clock_->advance_us(local);
+    return {Status::Ok(), local};
+  }
+
+  const std::uint64_t new_version = of.version + 1;
+
+  // Local work: agent bookkeeping + write-through of the (transformed) cache.
+  sim::SimClock::Micros local = local_cost(of.content.size());
+  if (options_.use_cache) {
+    cache_[of.path] = {transform_->protect(of.path, new_version, of.content), new_version};
+  }
+
+  // The upload pipeline: file upload and the interceptor's pipeline (RockFS
+  // logging) run in parallel; the metadata tuple update must come after both
+  // (§2.5 ordering).
+  auto file_up = storage_->write(storage_tokens_, unit_for(of.path), of.content);
+  if (!file_up.value.ok()) {
+    clock_->advance_us(local + file_up.delay);
+    return {Status{file_up.value.error()}, local + file_up.delay};
+  }
+  sim::SimClock::Micros pipeline = file_up.delay;
+  Status interceptor_status;
+  if (interceptor_) {
+    auto extra = interceptor_(of.path, of.original, of.content, new_version);
+    if (!extra.value.ok()) interceptor_status = std::move(extra.value);
+    // File and log pipelines run in parallel (§6.1 optimization (2)) but
+    // their transfers contend for the client uplink.
+    const auto shorter = std::min(pipeline, extra.delay);
+    pipeline = std::max(pipeline, extra.delay) +
+               static_cast<sim::SimClock::Micros>(options_.uplink_contention *
+                                                  static_cast<double>(shorter));
+  }
+
+  FileStat s;
+  s.path = of.path;
+  s.version = new_version;
+  s.size = of.content.size();
+  s.owner = options_.user_id;
+  s.modified_us = clock_->now_us();
+  auto meta = coordination_->replace(inode_pattern(of.path), inode_tuple(s));
+  if (!meta.value.ok()) {
+    clock_->advance_us(local + pipeline + meta.delay);
+    return {Status{meta.value.error()}, local + pipeline + meta.delay};
+  }
+  const sim::SimClock::Micros recorded = pipeline + meta.delay;
+
+  if (options_.sync_mode == SyncMode::kBlocking) {
+    // Blocking: the caller waits for upload + metadata, plus a final
+    // confirmation round with the coordination service (sync barrier).
+    auto barrier = coordination_->count(inode_pattern(of.path));
+    const auto total = local + recorded + barrier.delay;
+    clock_->advance_us(total);
+    if (!interceptor_status.ok()) return {std::move(interceptor_status), total};
+    return {Status::Ok(), total};
+  }
+
+  // Non-blocking: the caller only pays the local cost now; the upload joins
+  // the background pipeline, which drains one transfer at a time (the client
+  // uplink is shared). The reported delay is the Fig. 5 metric: when the
+  // coordination service has recorded this operation.
+  clock_->advance_us(local);
+  const sim::SimClock::Micros begin = std::max(clock_->now_us(), bg_complete_us_);
+  bg_complete_us_ = begin + recorded;
+  const auto reported = bg_complete_us_ - start_us;
+  if (!interceptor_status.ok()) return {std::move(interceptor_status), reported};
+  return {Status::Ok(), reported};
+}
+
+Status Scfs::close(Fd fd) { return close_timed(fd).value; }
+
+void Scfs::drain_background() {
+  if (bg_complete_us_ > clock_->now_us()) {
+    clock_->advance_us(bg_complete_us_ - clock_->now_us());
+  }
+}
+
+Status Scfs::unlink(const std::string& path) {
+  sim::SimClock::Micros delay = local_cost(0);
+  auto taken = coordination_->inp(inode_pattern(path));
+  delay += taken.delay;
+  if (!taken.value.ok()) {
+    clock_->advance_us(delay);
+    return Status{taken.value.error()};
+  }
+  if (!taken.value->has_value()) {
+    clock_->advance_us(delay);
+    return {ErrorCode::kNotFound, "scfs: no such file: " + path};
+  }
+  auto st = parse_inode(**taken.value);
+  cache_.erase(path);
+  if (st.ok() && st->version > 0) {
+    auto rm = storage_->remove(storage_tokens_, unit_for(path));
+    delay += rm.delay;
+    // A failed cloud delete leaves garbage but the file is gone from the
+    // namespace; nothing to surface to the caller.
+  }
+  clock_->advance_us(delay);
+  return {};
+}
+
+Status Scfs::rename(const std::string& from, const std::string& to) {
+  // Read both ends first.
+  sim::SimClock::Micros delay = local_cost(0);
+  auto src = stat_nocharge(from, &delay);
+  if (!src.ok()) {
+    clock_->advance_us(delay);
+    return Status{src.error()};
+  }
+  auto dst = stat_nocharge(to, &delay);
+  if (dst.ok()) {
+    clock_->advance_us(delay);
+    return {ErrorCode::kConflict, "scfs: rename target exists: " + to};
+  }
+  // Move the data unit: read + write under the new name, then swap tuples.
+  Bytes content;
+  if (src->version > 0) {
+    auto fetched = storage_->read(storage_tokens_, unit_for(from));
+    delay += fetched.delay;
+    if (!fetched.value.ok()) {
+      clock_->advance_us(delay);
+      return Status{fetched.value.error()};
+    }
+    content = std::move(*fetched.value);
+    auto put = storage_->write(storage_tokens_, unit_for(to), content);
+    delay += put.delay;
+    if (!put.value.ok()) {
+      clock_->advance_us(delay);
+      return Status{put.value.error()};
+    }
+    auto rm = storage_->remove(storage_tokens_, unit_for(from));
+    delay += rm.delay;
+  }
+  auto taken = coordination_->inp(inode_pattern(from));
+  delay += taken.delay;
+  FileStat s = *src;
+  s.path = to;
+  s.version = src->version > 0 ? 1 : 0;  // new unit starts at version 1
+  s.modified_us = clock_->now_us();
+  auto put_meta = coordination_->replace(inode_pattern(to), inode_tuple(s));
+  delay += put_meta.delay;
+  auto cached = cache_.extract(from);
+  if (!cached.empty()) {
+    cached.key() = to;
+    cache_.insert(std::move(cached));
+    // The cached transform is path-bound (RockFS MACs include the path), so
+    // invalidate rather than risk a false integrity failure.
+    cache_.erase(to);
+  }
+  clock_->advance_us(delay);
+  return {};
+}
+
+Result<FileStat> Scfs::stat(const std::string& path) {
+  sim::SimClock::Micros delay = 0;
+  auto st = stat_nocharge(path, &delay);
+  clock_->advance_us(delay);
+  return st;
+}
+
+Result<std::vector<std::string>> Scfs::readdir(const std::string& prefix) {
+  auto all = coordination_->rdall(coord::Template::of({kInodeTag, "*", "*", "*", "*", "*"}));
+  clock_->advance_us(all.delay);
+  if (!all.value.ok()) return Error{all.value.error()};
+  std::vector<std::string> out;
+  for (const auto& t : *all.value) {
+    if (t.size() >= 2 && t[1].starts_with(prefix)) out.push_back(t[1]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status Scfs::lock(const std::string& path) {
+  auto cas = coordination_->cas(coord::Template::of({kLockTag, path, "*"}),
+                                {kLockTag, path, options_.user_id});
+  clock_->advance_us(cas.delay);
+  if (!cas.value.ok()) return Status{cas.value.error()};
+  if (!*cas.value) return {ErrorCode::kConflict, "scfs: lock held: " + path};
+  return {};
+}
+
+Status Scfs::unlock(const std::string& path) {
+  auto taken =
+      coordination_->inp(coord::Template::of({kLockTag, path, options_.user_id}));
+  clock_->advance_us(taken.delay);
+  if (!taken.value.ok()) return Status{taken.value.error()};
+  if (!taken.value->has_value()) {
+    return {ErrorCode::kNotFound, "scfs: lock not held by caller: " + path};
+  }
+  return {};
+}
+
+}  // namespace rockfs::scfs

@@ -1,0 +1,177 @@
+// SCFS: the Shared Cloud-backed File System (paper §5.2, after Bessani et
+// al., USENIX ATC'14), rebuilt on our DepSky client and coordination
+// service. It provides a POSIX-style API with consistency-on-close: reads
+// and writes hit an in-memory open-file buffer backed by a local cache;
+// close() pushes the new version to the cloud-of-clouds and then updates the
+// file's metadata tuple in the coordination service (data before metadata,
+// §2.5). Supports the two sync modes evaluated in the paper: blocking and
+// non-blocking (background upload pipeline).
+//
+// RockFS integration points (used by src/rockfs):
+//   * CacheTransform — encrypt/verify the local cache at open/close (Fig. 4)
+//   * CloseInterceptor — runs the log pipeline concurrently with the file
+//     upload at close time (§6.1 optimization (2))
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "common/result.h"
+#include "coord/service.h"
+#include "depsky/client.h"
+#include "sim/timed.h"
+
+namespace rockfs::scfs {
+
+enum class SyncMode { kBlocking, kNonBlocking };
+
+/// Hook that transforms file content between memory and the on-disk cache.
+/// The default stores plaintext (what stock SCFS does, and what threat T3
+/// exploits); RockFS installs an encrypting, integrity-checking transform.
+class CacheTransform {
+ public:
+  virtual ~CacheTransform() = default;
+  /// Memory -> cache representation. `version` is the inode version this
+  /// content belongs to; binding it into the protection defeats replay of
+  /// older (validly sealed) cache entries.
+  virtual Bytes protect(const std::string& path, std::uint64_t version,
+                        BytesView plaintext) = 0;
+  /// Cache -> memory; kIntegrity when the cached data fails verification
+  /// (including a version mismatch, i.e. a replayed stale entry).
+  virtual Result<Bytes> unprotect(const std::string& path, std::uint64_t version,
+                                  BytesView cached) = 0;
+};
+
+struct FileStat {
+  std::string path;
+  std::uint64_t version = 0;
+  std::uint64_t size = 0;
+  std::string owner;
+  std::int64_t modified_us = 0;
+};
+
+struct ScfsOptions {
+  SyncMode sync_mode = SyncMode::kNonBlocking;
+  bool use_cache = true;
+  std::string user_id = "user";
+  /// Local client-side costs (charged in both modes).
+  std::int64_t local_op_cost_us = 1'500;         // syscall + agent bookkeeping
+  double local_disk_bytes_per_sec = 150e6;       // cache (SSD) throughput
+  /// Parallel upload pipelines (file + log) share the client's physical
+  /// uplink: this fraction of the smaller pipeline's time is serialized
+  /// behind the larger one (the request/RTT components overlap fully; only
+  /// the transfer component contends). 0 = ideal parallelism, 1 = sequential.
+  double uplink_contention = 0.2;
+};
+
+class Scfs {
+ public:
+  using Fd = int;
+
+  /// Called at close with (path, previous content, new content, new version);
+  /// its delay is overlapped with the file upload (parallel pipelines).
+  using CloseInterceptor = std::function<sim::Timed<Status>(
+      const std::string& path, const Bytes& old_content, const Bytes& new_content,
+      std::uint64_t new_version)>;
+
+  Scfs(std::shared_ptr<depsky::DepSkyClient> storage,
+       std::vector<cloud::AccessToken> storage_tokens,
+       std::shared_ptr<coord::CoordinationService> coordination, sim::SimClockPtr clock,
+       ScfsOptions options);
+
+  // ---- POSIX-style operations (each advances the virtual clock) ----
+
+  /// Creates an empty file; fails with kConflict if it already exists.
+  Result<Fd> create(const std::string& path);
+  /// Opens an existing file, loading it from cache (after integrity checks)
+  /// or from the cloud-of-clouds.
+  Result<Fd> open(const std::string& path);
+  Result<Bytes> read(Fd fd, std::size_t offset, std::size_t length);
+  Status write(Fd fd, std::size_t offset, BytesView data);
+  /// Appends at the end of the file.
+  Status append(Fd fd, BytesView data);
+  Status truncate(Fd fd, std::size_t new_size);
+  /// Consistency-on-close: uploads if dirty, then records metadata.
+  Status close(Fd fd);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<FileStat> stat(const std::string& path);
+  /// Paths under `prefix`, sorted.
+  Result<std::vector<std::string>> readdir(const std::string& prefix);
+
+  // ---- advisory locking via the coordination service ----
+
+  Status lock(const std::string& path);
+  Status unlock(const std::string& path);
+
+  // ---- sync-mode plumbing ----
+
+  /// Close that reports the paper's Fig. 5 latency metric: the virtual time
+  /// from close() until the coordination service has recorded the operation
+  /// (for non-blocking mode this includes queued background uploads).
+  sim::Timed<Status> close_timed(Fd fd);
+  /// Advances the clock until the background upload queue is empty.
+  void drain_background();
+  /// Virtual time at which the background queue drains.
+  sim::SimClock::Micros background_complete_us() const noexcept { return bg_complete_us_; }
+
+  // ---- RockFS integration ----
+
+  void set_cache_transform(std::shared_ptr<CacheTransform> transform);
+  void set_close_interceptor(CloseInterceptor interceptor);
+  /// Drops every cached entry (e.g., session key rotation).
+  void clear_cache();
+  /// Direct cache inspection for tests and the attack driver.
+  std::optional<Bytes> cached_raw(const std::string& path) const;
+  void poke_cache(const std::string& path, Bytes raw);
+
+  const ScfsOptions& options() const noexcept { return options_; }
+  std::shared_ptr<depsky::DepSkyClient> storage() const noexcept { return storage_; }
+  std::shared_ptr<coord::CoordinationService> coordination() const noexcept {
+    return coordination_;
+  }
+  const std::vector<cloud::AccessToken>& storage_tokens() const noexcept {
+    return storage_tokens_;
+  }
+
+  /// DepSky unit name for a path (exposed for the recovery service).
+  std::string unit_for(const std::string& path) const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    Bytes content;        // plaintext working copy
+    Bytes original;       // content as of open (for the close interceptor)
+    std::uint64_t version = 0;
+    bool dirty = false;
+    bool created = false;
+  };
+
+  struct CacheEntry {
+    Bytes raw;  // transformed (possibly encrypted) representation
+    std::uint64_t version = 0;
+  };
+
+  sim::SimClock::Micros local_cost(std::size_t bytes) const;
+  Result<FileStat> stat_nocharge(const std::string& path, sim::SimClock::Micros* delay);
+
+  std::shared_ptr<depsky::DepSkyClient> storage_;
+  std::vector<cloud::AccessToken> storage_tokens_;
+  std::shared_ptr<coord::CoordinationService> coordination_;
+  sim::SimClockPtr clock_;
+  ScfsOptions options_;
+  std::shared_ptr<CacheTransform> transform_;
+  CloseInterceptor interceptor_;
+
+  std::map<Fd, OpenFile> open_files_;
+  std::map<std::string, CacheEntry> cache_;
+  Fd next_fd_ = 3;
+  sim::SimClock::Micros bg_complete_us_ = 0;
+};
+
+}  // namespace rockfs::scfs

@@ -1,0 +1,92 @@
+// Publicly Verifiable Secret Sharing after Schoenmakers (CRYPTO'99), over
+// secp256k1. The dealer shares a scalar secret s among n participants with
+// threshold k; every share is encrypted to its participant's public key and
+// carries a DLEQ proof, so *anyone* can check that the dealer distributed
+// consistent shares (verifyD) and that a participant's decrypted share is
+// genuine (verifyS) -- without learning anything about s.
+//
+// Reconstruction yields the group element s*G; the RockFS keystore derives
+// its AES key as H(s*G) (pvss_secret_key), which the dealer also knows.
+//
+// Paper mapping (§4.1): share/combine/verifyD/verifyS.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/drbg.h"
+#include "crypto/secp256k1.h"
+#include "crypto/signature.h"
+
+namespace rockfs::secretshare {
+
+/// Chaum-Pedersen proof that log_{g1}(h1) == log_{g2}(h2).
+struct DleqProof {
+  crypto::Uint256 c;  // challenge
+  crypto::Uint256 r;  // response
+};
+
+DleqProof dleq_prove(const crypto::Point& g1, const crypto::Point& h1,
+                     const crypto::Point& g2, const crypto::Point& h2,
+                     const crypto::Uint256& witness, crypto::Drbg& drbg);
+
+bool dleq_verify(const crypto::Point& g1, const crypto::Point& h1, const crypto::Point& g2,
+                 const crypto::Point& h2, const DleqProof& proof);
+
+/// Share of participant `index` (1-based), encrypted to their public key.
+struct PvssEncryptedShare {
+  std::size_t index = 0;
+  crypto::Point y;  // p(index) * P_index
+  DleqProof proof;  // log_G(X_index) == log_{P_index}(y)
+};
+
+/// Everything the dealer publishes.
+struct PvssDeal {
+  std::size_t k = 0;                          // threshold
+  std::vector<crypto::Point> commitments;     // C_j = a_j * G, j = 0..k-1
+  std::vector<PvssEncryptedShare> shares;     // one per participant
+
+  Bytes serialize() const;
+  static Result<PvssDeal> deserialize(BytesView b);
+};
+
+/// A participant's decrypted share with its correctness proof.
+struct PvssDecryptedShare {
+  std::size_t index = 0;
+  crypto::Point s;  // p(index) * G
+  DleqProof proof;  // log_G(P_index) == log_s(Y_index)
+
+  Bytes serialize() const;
+  static Result<PvssDecryptedShare> deserialize(BytesView b);
+};
+
+/// `share`: dealer splits `secret` among the holders of `participant_keys`.
+PvssDeal pvss_share(const crypto::Uint256& secret,
+                    const std::vector<crypto::Point>& participant_keys, std::size_t k,
+                    crypto::Drbg& drbg);
+
+/// `verifyD`: checks the whole deal (commitment consistency + every DLEQ).
+bool pvss_verify_deal(const PvssDeal& deal,
+                      const std::vector<crypto::Point>& participant_keys);
+
+/// Participant `index` decrypts its share and proves it did so honestly.
+Result<PvssDecryptedShare> pvss_decrypt_share(const PvssDeal& deal, std::size_t index,
+                                              const crypto::KeyPair& participant,
+                                              crypto::Drbg& drbg);
+
+/// `verifyS`: checks one decrypted share against the deal.
+bool pvss_verify_decrypted(const PvssDeal& deal, const PvssDecryptedShare& share,
+                           const crypto::Point& participant_key);
+
+/// `combine`: Lagrange interpolation in the exponent; needs >= k valid shares.
+Result<crypto::Point> pvss_combine(const std::vector<PvssDecryptedShare>& shares,
+                                   std::size_t k);
+
+/// Expected reconstruction result for a given secret (dealer side).
+crypto::Point pvss_public_secret(const crypto::Uint256& secret);
+
+/// Symmetric key derived from the reconstructed group element: SHA-256(enc(s*G)).
+Bytes pvss_secret_key(const crypto::Point& s_times_g);
+
+}  // namespace rockfs::secretshare

@@ -1,0 +1,41 @@
+// Shamir secret sharing over GF(2^8), byte-wise: splits an arbitrary-length
+// secret into n shares of which any k reconstruct it and any k-1 reveal
+// nothing. DepSky's CA protocol uses this for the per-file encryption keys
+// (paper §5.1); the RockFS keystore uses PVSS (pvss.h) which adds public
+// verifiability on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/drbg.h"
+
+namespace rockfs::secretshare {
+
+struct ShamirShare {
+  std::uint8_t x = 0;  // evaluation point, 1..n (never 0: that's the secret)
+  Bytes y;             // one field element per secret byte
+
+  /// Canonical serialization: x byte followed by y.
+  Bytes serialize() const;
+  static Result<ShamirShare> deserialize(BytesView b);
+};
+
+/// Splits `secret` into n shares with threshold k (k of n reconstruct).
+/// Requires 1 <= k <= n <= 255.
+std::vector<ShamirShare> shamir_share(BytesView secret, std::size_t k, std::size_t n,
+                                      crypto::Drbg& drbg);
+
+/// Reconstructs the secret from >= k distinct shares of consistent length.
+Result<Bytes> shamir_combine(const std::vector<ShamirShare>& shares, std::size_t k);
+
+/// Re-derives the share at `x_target` from >= k known shares by byte-wise
+/// Lagrange interpolation (the degree-(k-1) polynomial is fully determined
+/// by any k points). Used by DepSky's repair to re-create a lost cloud's
+/// key share without re-dealing.
+Result<ShamirShare> shamir_interpolate_share(const std::vector<ShamirShare>& shares,
+                                             std::size_t k, std::uint8_t x_target);
+
+}  // namespace rockfs::secretshare

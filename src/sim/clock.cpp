@@ -1,0 +1,12 @@
+#include "sim/clock.h"
+
+#include <stdexcept>
+
+namespace rockfs::sim {
+
+void SimClock::advance_us(Micros us) {
+  if (us < 0) throw std::invalid_argument("SimClock::advance_us: negative advance");
+  now_us_ += us;
+}
+
+}  // namespace rockfs::sim

@@ -1,0 +1,42 @@
+// Virtual time. Every simulated network interaction advances this clock by a
+// deterministic amount, so latency experiments (paper Figs. 5-8) are exactly
+// reproducible on any machine, independent of the host's real speed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace rockfs::sim {
+
+/// Monotonic virtual clock counted in microseconds.
+class SimClock {
+ public:
+  using Micros = std::int64_t;
+
+  Micros now_us() const noexcept { return now_us_; }
+  double now_seconds() const noexcept { return static_cast<double>(now_us_) / 1e6; }
+
+  /// Moves time forward. Negative advances are a bug.
+  void advance_us(Micros us);
+  void advance_seconds(double s) { advance_us(static_cast<Micros>(s * 1e6)); }
+
+ private:
+  Micros now_us_ = 0;
+};
+
+using SimClockPtr = std::shared_ptr<SimClock>;
+
+/// Measures virtual elapsed time across a scope.
+class SimStopwatch {
+ public:
+  explicit SimStopwatch(SimClockPtr clock)
+      : clock_(std::move(clock)), start_us_(clock_->now_us()) {}
+  SimClock::Micros elapsed_us() const { return clock_->now_us() - start_us_; }
+  double elapsed_seconds() const { return static_cast<double>(elapsed_us()) / 1e6; }
+
+ private:
+  SimClockPtr clock_;
+  SimClock::Micros start_us_;
+};
+
+}  // namespace rockfs::sim

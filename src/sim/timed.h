@@ -1,0 +1,43 @@
+// Latency composition for simulated distributed operations.
+//
+// Providers and replicas *compute* delays but never advance the shared clock;
+// instead every operation returns its payload wrapped in Timed<T>. The layer
+// that owns the end-to-end operation (SCFS close, RockFS close, recovery)
+// composes delays — sequential steps add, parallel fan-outs take the max or
+// the quorum-th smallest — and advances the clock exactly once. This is what
+// lets the simulation reproduce the paper's "file and log uploads run in
+// parallel" optimization faithfully.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace rockfs::sim {
+
+template <typename T>
+struct Timed {
+  T value;
+  SimClock::Micros delay = 0;
+};
+
+/// Delay after which `quorum` of the parallel branches have completed.
+/// With quorum == delays.size() this is the max; an empty vector yields 0.
+inline SimClock::Micros quorum_delay(std::vector<SimClock::Micros> delays,
+                                     std::size_t quorum) {
+  if (delays.empty() || quorum == 0) return 0;
+  if (quorum > delays.size()) quorum = delays.size();
+  std::nth_element(delays.begin(), delays.begin() + static_cast<std::ptrdiff_t>(quorum - 1),
+                   delays.end());
+  return delays[quorum - 1];
+}
+
+/// Delay after which all parallel branches have completed.
+inline SimClock::Micros parallel_delay(const std::vector<SimClock::Micros>& delays) {
+  SimClock::Micros max = 0;
+  for (const auto d : delays) max = std::max(max, d);
+  return max;
+}
+
+}  // namespace rockfs::sim

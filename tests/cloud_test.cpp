@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/provider.h"
+
+namespace rockfs::cloud {
+namespace {
+
+struct CloudFixture : ::testing::Test {
+  sim::SimClockPtr clock = std::make_shared<sim::SimClock>();
+  CloudProvider provider{"s3-ireland", clock, sim::LinkProfile::s3_like("s3-ireland"), 42};
+  AccessToken t_u = provider.issue_token("alice", "rockfs-1", TokenScope::kFiles);
+  AccessToken t_l = provider.issue_token("alice", "rockfs-1", TokenScope::kLogAppend);
+  AccessToken t_a = provider.issue_token("admin", "rockfs-1", TokenScope::kAdmin);
+};
+
+TEST_F(CloudFixture, PutGetRoundTrip) {
+  const Bytes data = to_bytes("file contents");
+  auto put = provider.put(t_u, "files/alice/f1", data);
+  ASSERT_TRUE(put.value.ok());
+  EXPECT_GT(put.delay, 0);
+  auto got = provider.get(t_u, "files/alice/f1");
+  ASSERT_TRUE(got.value.ok());
+  EXPECT_EQ(*got.value, data);
+}
+
+TEST_F(CloudFixture, GetMissingIsNotFound) {
+  EXPECT_EQ(provider.get(t_u, "files/nope").value.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(provider.remove(t_u, "files/nope").value.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CloudFixture, FilesTokenCannotTouchLogs) {
+  EXPECT_EQ(provider.put(t_u, "logs/alice/1", to_bytes("x")).value.code(),
+            ErrorCode::kPermissionDenied);
+  provider.put(t_l, "logs/alice/1", to_bytes("entry")).value.expect("log append");
+  EXPECT_EQ(provider.get(t_u, "logs/alice/1").value.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(provider.remove(t_u, "logs/alice/1").value.code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(provider.list(t_u, "logs/").value.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CloudFixture, LogTokenIsAppendOnly) {
+  // Create succeeds.
+  ASSERT_TRUE(provider.put(t_l, "logs/alice/1", to_bytes("v1")).value.ok());
+  // Overwrite is denied — this is the core A2 defence.
+  EXPECT_EQ(provider.put(t_l, "logs/alice/1", to_bytes("forged")).value.code(),
+            ErrorCode::kPermissionDenied);
+  // Delete is denied.
+  EXPECT_EQ(provider.remove(t_l, "logs/alice/1").value.code(),
+            ErrorCode::kPermissionDenied);
+  // The original entry is intact.
+  EXPECT_EQ(to_string(*provider.get(t_l, "logs/alice/1").value), "v1");
+}
+
+TEST_F(CloudFixture, LogTokenCannotTouchFiles) {
+  provider.put(t_u, "files/alice/f1", to_bytes("data")).value.expect("put");
+  EXPECT_EQ(provider.put(t_l, "files/alice/f1", to_bytes("evil")).value.code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(provider.get(t_l, "files/alice/f1").value.code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CloudFixture, AdminCanReadLogsButNeverEraseThem) {
+  provider.put(t_l, "logs/alice/1", to_bytes("entry")).value.expect("append");
+  EXPECT_TRUE(provider.get(t_a, "logs/alice/1").value.ok());
+  // Even the administrator cannot delete or overwrite log entries (§3.3).
+  EXPECT_EQ(provider.remove(t_a, "logs/alice/1").value.code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(provider.put(t_a, "logs/alice/1", to_bytes("rewrite")).value.code(),
+            ErrorCode::kPermissionDenied);
+  // But the admin rewrites *file* objects during recovery.
+  provider.put(t_u, "files/alice/f1", to_bytes("corrupted")).value.expect("put");
+  EXPECT_TRUE(provider.put(t_a, "files/alice/f1", to_bytes("recovered")).value.ok());
+}
+
+TEST_F(CloudFixture, ForgedTokenRejected) {
+  AccessToken forged = t_u;
+  forged.scope = TokenScope::kAdmin;  // privilege escalation attempt
+  EXPECT_EQ(provider.get(forged, "logs/alice/1").value.code(),
+            ErrorCode::kPermissionDenied);
+  AccessToken blank;
+  blank.user_id = "mallory";
+  EXPECT_EQ(provider.put(blank, "files/x", to_bytes("x")).value.code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CloudFixture, RevokedTokenRejected) {
+  provider.put(t_u, "files/f", to_bytes("x")).value.expect("put");
+  provider.revoke_token(t_u);
+  EXPECT_EQ(provider.get(t_u, "files/f").value.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CloudFixture, ExpiredTokenRejected) {
+  const AccessToken short_lived =
+      provider.issue_token("alice", "rockfs-1", TokenScope::kFiles, 1'000'000);
+  ASSERT_TRUE(provider.put(short_lived, "files/f", to_bytes("x")).value.ok());
+  clock->advance_seconds(2.0);
+  EXPECT_EQ(provider.get(short_lived, "files/f").value.code(), ErrorCode::kExpired);
+}
+
+TEST_F(CloudFixture, ListByPrefix) {
+  provider.put(t_u, "files/alice/a", to_bytes("1")).value.expect("put");
+  provider.put(t_u, "files/alice/b", to_bytes("22")).value.expect("put");
+  provider.put(t_u, "files/bob/c", to_bytes("333")).value.expect("put");
+  auto listed = provider.list(t_u, "files/alice/");
+  ASSERT_TRUE(listed.value.ok());
+  ASSERT_EQ(listed.value->size(), 2u);
+  EXPECT_EQ((*listed.value)[0].key, "files/alice/a");
+  EXPECT_EQ((*listed.value)[1].size, 2u);
+}
+
+TEST_F(CloudFixture, LogTokenListsOnlyLogs) {
+  provider.put(t_u, "files/f", to_bytes("x")).value.expect("put");
+  provider.put(t_l, "logs/e1", to_bytes("y")).value.expect("append");
+  auto listed = provider.list(t_l, "");
+  ASSERT_TRUE(listed.value.ok());
+  ASSERT_EQ(listed.value->size(), 1u);
+  EXPECT_EQ((*listed.value)[0].key, "logs/e1");
+}
+
+TEST_F(CloudFixture, OutageFailsEverything) {
+  provider.put(t_u, "files/f", to_bytes("x")).value.expect("put");
+  provider.set_available(false);
+  EXPECT_EQ(provider.get(t_u, "files/f").value.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(provider.put(t_u, "files/g", to_bytes("y")).value.code(),
+            ErrorCode::kUnavailable);
+  provider.set_available(true);
+  EXPECT_TRUE(provider.get(t_u, "files/f").value.ok());
+}
+
+TEST_F(CloudFixture, ByzantineReturnsCorruptedData) {
+  const Bytes data = to_bytes("truthful contents of a reasonable size");
+  provider.put(t_u, "files/f", data).value.expect("put");
+  provider.set_byzantine(true);
+  auto got = provider.get(t_u, "files/f");
+  ASSERT_TRUE(got.value.ok());  // claims success...
+  EXPECT_NE(*got.value, data);  // ...but lies
+}
+
+TEST_F(CloudFixture, CorruptAndLoseObject) {
+  const Bytes data = to_bytes("precious data");
+  provider.put(t_u, "files/f", data).value.expect("put");
+  ASSERT_TRUE(provider.corrupt_object("files/f").ok());
+  EXPECT_NE(*provider.get(t_u, "files/f").value, data);
+  ASSERT_TRUE(provider.lose_object("files/f").ok());
+  EXPECT_EQ(provider.get(t_u, "files/f").value.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(provider.corrupt_object("files/f").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CloudFixture, TrafficAccounting) {
+  provider.traffic().reset();
+  provider.put(t_u, "files/f", Bytes(1000, 1)).value.expect("put");
+  provider.get(t_u, "files/f").value.expect("get");
+  EXPECT_EQ(provider.traffic().uploaded_bytes(), 1000u);
+  EXPECT_EQ(provider.traffic().downloaded_bytes(), 1000u);
+}
+
+TEST_F(CloudFixture, StoredBytesTracksObjects) {
+  EXPECT_EQ(provider.stored_bytes(), 0u);
+  provider.put(t_u, "files/a", Bytes(100, 1)).value.expect("put");
+  provider.put(t_u, "files/b", Bytes(50, 1)).value.expect("put");
+  EXPECT_EQ(provider.stored_bytes(), 150u);
+  provider.put(t_u, "files/a", Bytes(10, 1)).value.expect("overwrite");
+  EXPECT_EQ(provider.stored_bytes(), 60u);
+  provider.remove(t_u, "files/b").value.expect("remove");
+  EXPECT_EQ(provider.stored_bytes(), 10u);
+}
+
+TEST_F(CloudFixture, UploadDelayScalesWithSize) {
+  const auto small = provider.put(t_u, "files/s", Bytes(1000, 0)).delay;
+  const auto large = provider.put(t_u, "files/l", Bytes(10'000'000, 0)).delay;
+  EXPECT_GT(large, small * 10);
+}
+
+TEST(CloudFleet, MakeProviderFleet) {
+  auto clock = std::make_shared<sim::SimClock>();
+  auto fleet = make_provider_fleet(clock, 4, 7);
+  ASSERT_EQ(fleet.size(), 4u);
+  // Distinct names and token secrets (a token from one cloud fails at another).
+  const auto t0 = fleet[0]->issue_token("u", "fs", TokenScope::kFiles);
+  EXPECT_EQ(fleet[1]->put(t0, "files/x", to_bytes("x")).value.code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_NE(fleet[0]->name(), fleet[1]->name());
+}
+
+}  // namespace
+}  // namespace rockfs::cloud

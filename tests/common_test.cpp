@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace rockfs {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const Bytes b = to_bytes("hello rockfs");
+  EXPECT_EQ(to_string(b), "hello rockfs");
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = concat({a, b, a});
+  EXPECT_EQ(to_string(c), "abcdab");
+}
+
+TEST(Bytes, U64RoundTrip) {
+  Bytes b;
+  append_u64(b, 0x0123456789ABCDEFULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[7], 0xEF);
+  EXPECT_EQ(read_u64(b, 0), 0x0123456789ABCDEFULL);
+}
+
+TEST(Bytes, U32RoundTrip) {
+  Bytes b;
+  append_u32(b, 0xDEADBEEF);
+  EXPECT_EQ(read_u32(b, 0), 0xDEADBEEF);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  Bytes b(7);
+  EXPECT_THROW(read_u64(b, 0), std::out_of_range);
+  EXPECT_THROW(read_u32(b, 5), std::out_of_range);
+}
+
+TEST(Bytes, LengthPrefixedRoundTrip) {
+  Bytes buf;
+  append_lp(buf, to_bytes("first"));
+  append_lp(buf, to_bytes(""));
+  append_lp(buf, to_bytes("third-part"));
+  std::size_t off = 0;
+  EXPECT_EQ(to_string(read_lp(buf, &off)), "first");
+  EXPECT_EQ(to_string(read_lp(buf, &off)), "");
+  EXPECT_EQ(to_string(read_lp(buf, &off)), "third-part");
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(Bytes, LengthPrefixedTruncationThrows) {
+  Bytes buf;
+  append_lp(buf, to_bytes("payload"));
+  buf.resize(buf.size() - 2);
+  std::size_t off = 0;
+  EXPECT_THROW(read_lp(buf, &off), std::out_of_range);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_FALSE(ct_equal(to_bytes("same"), to_bytes("sane")));
+  EXPECT_FALSE(ct_equal(to_bytes("short"), to_bytes("longer")));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, XorBytes) {
+  const Bytes a{0xFF, 0x00, 0xAA};
+  const Bytes b{0x0F, 0xF0, 0xAA};
+  const Bytes x = xor_bytes(a, b);
+  EXPECT_EQ(x, (Bytes{0xF0, 0xF0, 0x00}));
+  EXPECT_THROW(xor_bytes(a, Bytes{0x00}), std::invalid_argument);
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes b{0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(hex_encode(b), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), b);
+  EXPECT_EQ(hex_decode("0001ABFF"), b);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+}
+
+TEST(Base64, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, RoundTripAllBytes) {
+  Bytes all(256);
+  for (std::size_t i = 0; i < 256; ++i) all[i] = static_cast<Byte>(i);
+  EXPECT_EQ(base64_decode(base64_encode(all)), all);
+}
+
+TEST(Base64, RejectsBadInput) {
+  EXPECT_THROW(base64_decode("abc"), std::invalid_argument);
+  EXPECT_THROW(base64_decode("a=bc"), std::invalid_argument);
+  EXPECT_THROW(base64_decode("????"), std::invalid_argument);
+}
+
+TEST(Result, OkAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+
+  Result<int> bad(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(bad.error().message, "missing");
+  EXPECT_THROW(bad.value(), BadResultAccess);
+}
+
+TEST(Result, StatusBehaviour) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_NO_THROW(ok.expect("fine"));
+
+  Status bad(ErrorCode::kPermissionDenied, "no token");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kPermissionDenied);
+  EXPECT_THROW(bad.expect("should be authorized"), BadResultAccess);
+}
+
+TEST(Result, ErrorCodeNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kIntegrity), "integrity");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(Rng, BytesLengthAndDeterminism) {
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(a.next_bytes(33), b.next_bytes(33));
+  EXPECT_EQ(a.next_bytes(0).size(), 0u);
+  EXPECT_EQ(a.next_bytes(7).size(), 7u);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // Child stream should not equal the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace rockfs

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coord/service.h"
+
+namespace rockfs::coord {
+namespace {
+
+// ------------------------------------------------------------------- Tuple
+
+TEST(TupleMatch, ExactAndWildcard) {
+  const Tuple t{"inode", "/docs/a.txt", "42"};
+  EXPECT_TRUE(Template::of({"inode", "/docs/a.txt", "42"}).matches(t));
+  EXPECT_TRUE(Template::of({"inode", "*", "*"}).matches(t));
+  EXPECT_FALSE(Template::of({"inode", "/docs/b.txt", "*"}).matches(t));
+  EXPECT_FALSE(Template::of({"inode", "*"}).matches(t));  // arity mismatch
+}
+
+TEST(TupleSerialize, RoundTrip) {
+  const Tuple t{"a", "", "multi word field", "42"};
+  EXPECT_EQ(deserialize_tuple(serialize_tuple(t)), t);
+  EXPECT_EQ(deserialize_tuple(serialize_tuple(Tuple{})), Tuple{});
+}
+
+// ----------------------------------------------------------------- Replica
+
+TEST(Replica, OutRdpInp) {
+  Replica r("r0");
+  r.out({"k", "v1"});
+  r.out({"k", "v2"});
+  EXPECT_EQ(r.size(), 2u);
+  // rdp returns the oldest match without removing it.
+  auto read = r.rdp(Template::of({"k", "*"}));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ((*read)[1], "v1");
+  EXPECT_EQ(r.size(), 2u);
+  // inp removes it.
+  auto taken = r.inp(Template::of({"k", "*"}));
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ((*taken)[1], "v1");
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ((*r.rdp(Template::of({"k", "*"})))[1], "v2");
+}
+
+TEST(Replica, RdallAndCount) {
+  Replica r("r0");
+  r.out({"log", "f1", "0"});
+  r.out({"log", "f1", "1"});
+  r.out({"log", "f2", "0"});
+  EXPECT_EQ(r.rdall(Template::of({"log", "f1", "*"})).size(), 2u);
+  EXPECT_EQ(r.count(Template::of({"log", "*", "*"})), 3u);
+  EXPECT_TRUE(r.rdall(Template::of({"none", "*", "*"})).empty());
+}
+
+TEST(Replica, CasSemantics) {
+  Replica r("r0");
+  EXPECT_TRUE(r.cas(Template::of({"lock", "f1", "*"}), {"lock", "f1", "alice"}));
+  // Second cas on the same lock fails (lock already held).
+  EXPECT_FALSE(r.cas(Template::of({"lock", "f1", "*"}), {"lock", "f1", "mallory"}));
+  EXPECT_EQ((*r.rdp(Template::of({"lock", "f1", "*"})))[2], "alice");
+}
+
+TEST(Replica, ReplaceSemantics) {
+  Replica r("r0");
+  r.out({"session", "alice", "key1"});
+  r.out({"session", "alice", "key2"});
+  EXPECT_EQ(r.replace(Template::of({"session", "alice", "*"}), {"session", "alice", "key3"}),
+            2u);
+  const auto all = r.rdall(Template::of({"session", "alice", "*"}));
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0][2], "key3");
+  // Replace with no match just inserts.
+  EXPECT_EQ(r.replace(Template::of({"session", "bob", "*"}), {"session", "bob", "k"}), 0u);
+}
+
+TEST(Replica, CheckpointRestore) {
+  Replica r("r0");
+  r.out({"a", "1"});
+  r.out({"b", "2"});
+  const Bytes cp = r.checkpoint();
+  auto restored = Replica::restore("r1", cp);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_TRUE(restored->rdp(Template::of({"a", "*"})).has_value());
+
+  Bytes bad = cp;
+  bad.resize(bad.size() - 1);
+  EXPECT_EQ(Replica::restore("rx", bad).code(), ErrorCode::kCorrupted);
+}
+
+// ----------------------------------------------------------------- Service
+
+struct ServiceFixture : ::testing::Test {
+  sim::SimClockPtr clock = std::make_shared<sim::SimClock>();
+  CoordinationService svc{clock, /*f=*/1, /*seed=*/123};
+};
+
+TEST_F(ServiceFixture, HasThreeFPlusOneReplicas) {
+  EXPECT_EQ(svc.replica_count(), 4u);
+  EXPECT_EQ(svc.quorum(), 3u);
+}
+
+TEST_F(ServiceFixture, OutThenRdp) {
+  auto w = svc.out({"meta", "/f", "v1"});
+  ASSERT_TRUE(w.value.ok());
+  EXPECT_GT(w.delay, 0);
+  auto r = svc.rdp(Template::of({"meta", "/f", "*"}));
+  ASSERT_TRUE(r.value.ok());
+  ASSERT_TRUE(r.value->has_value());
+  EXPECT_EQ((**r.value)[2], "v1");
+}
+
+TEST_F(ServiceFixture, ToleratesOneByzantineReplica) {
+  svc.out({"meta", "/f", "v1"}).value.expect("out");
+  svc.replica(0).set_byzantine(true);
+  auto r = svc.rdp(Template::of({"meta", "/f", "*"}));
+  ASSERT_TRUE(r.value.ok());
+  ASSERT_TRUE(r.value->has_value());
+  EXPECT_EQ((**r.value)[2], "v1");  // the lie was outvoted
+  auto c = svc.count(Template::of({"meta", "*", "*"}));
+  ASSERT_TRUE(c.value.ok());
+  EXPECT_EQ(*c.value, 1u);
+}
+
+TEST_F(ServiceFixture, ToleratesOneCrashedReplica) {
+  svc.out({"meta", "/f", "v1"}).value.expect("out");
+  svc.set_replica_down(3, true);
+  auto r = svc.rdp(Template::of({"meta", "/f", "*"}));
+  ASSERT_TRUE(r.value.ok());
+  EXPECT_TRUE(r.value->has_value());
+  EXPECT_TRUE(svc.out({"meta", "/g", "v1"}).value.ok());
+}
+
+TEST_F(ServiceFixture, TwoFaultsBreakTheQuorum) {
+  svc.out({"meta", "/f", "v1"}).value.expect("out");
+  svc.set_replica_down(2, true);
+  svc.set_replica_down(3, true);
+  auto r = svc.rdp(Template::of({"meta", "/f", "*"}));
+  EXPECT_EQ(r.value.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(ServiceFixture, ByzantinePlusCrashBreaksSafetyBound) {
+  // f=1 tolerates one fault of any kind; one crash + one liar exceeds it.
+  svc.out({"meta", "/f", "v1"}).value.expect("out");
+  svc.set_replica_down(3, true);
+  svc.replica(0).set_byzantine(true);
+  auto r = svc.rdp(Template::of({"meta", "/f", "*"}));
+  EXPECT_EQ(r.value.code(), ErrorCode::kUnavailable);  // detected, not wrong
+}
+
+TEST_F(ServiceFixture, CasIsAtomicAcrossReplicas) {
+  auto first = svc.cas(Template::of({"lock", "/f", "*"}), {"lock", "/f", "alice"});
+  ASSERT_TRUE(first.value.ok());
+  EXPECT_TRUE(*first.value);
+  auto second = svc.cas(Template::of({"lock", "/f", "*"}), {"lock", "/f", "bob"});
+  ASSERT_TRUE(second.value.ok());
+  EXPECT_FALSE(*second.value);
+}
+
+TEST_F(ServiceFixture, InpRemovesEverywhere) {
+  svc.out({"q", "job1"}).value.expect("out");
+  auto taken = svc.inp(Template::of({"q", "*"}));
+  ASSERT_TRUE(taken.value.ok());
+  ASSERT_TRUE(taken.value->has_value());
+  auto again = svc.inp(Template::of({"q", "*"}));
+  ASSERT_TRUE(again.value.ok());
+  EXPECT_FALSE(again.value->has_value());
+}
+
+TEST_F(ServiceFixture, RdallVotesOnWholeSets) {
+  svc.out({"log", "f", "0"}).value.expect("out");
+  svc.out({"log", "f", "1"}).value.expect("out");
+  svc.replica(1).set_byzantine(true);
+  auto all = svc.rdall(Template::of({"log", "f", "*"}));
+  ASSERT_TRUE(all.value.ok());
+  EXPECT_EQ(all.value->size(), 2u);
+  EXPECT_EQ((*all.value)[1][2], "1");
+}
+
+TEST_F(ServiceFixture, ReplaceQuorum) {
+  svc.out({"agg", "user", "old"}).value.expect("out");
+  auto rep = svc.replace(Template::of({"agg", "user", "*"}), {"agg", "user", "new"});
+  ASSERT_TRUE(rep.value.ok());
+  EXPECT_EQ(*rep.value, 1u);
+  EXPECT_EQ((**svc.rdp(Template::of({"agg", "user", "*"})).value)[2], "new");
+}
+
+TEST_F(ServiceFixture, CrashedReplicaRecoversFromCheckpoint) {
+  svc.out({"meta", "/f", "v1"}).value.expect("out");
+  // Replica 2 "crashes": wipe it by restoring an empty peer checkpoint later.
+  const Bytes good_cp = svc.checkpoint_replica(0);
+  // Simulate state loss + recovery from a healthy replica's checkpoint.
+  ASSERT_TRUE(svc.restore_replica(2, good_cp).ok());
+  auto r = svc.rdp(Template::of({"meta", "/f", "*"}));
+  ASSERT_TRUE(r.value.ok());
+  EXPECT_TRUE(r.value->has_value());
+}
+
+TEST_F(ServiceFixture, DelayReflectsQuorumNotSlowest) {
+  // The reply delay must be positive and deterministic for a fixed seed.
+  auto a = svc.out({"x", "1"});
+  EXPECT_GT(a.delay, 0);
+  EXPECT_LT(a.delay, 1'000'000);  // well under a second for metadata ops
+}
+
+TEST(ServiceF2, FiveFaultsConfigurationWorks) {
+  auto clock = std::make_shared<sim::SimClock>();
+  CoordinationService svc(clock, /*f=*/2, /*seed=*/5);
+  EXPECT_EQ(svc.replica_count(), 7u);
+  svc.out({"k", "v"}).value.expect("out");
+  svc.replica(0).set_byzantine(true);
+  svc.replica(1).set_byzantine(true);
+  auto r = svc.rdp(Template::of({"k", "*"}));
+  ASSERT_TRUE(r.value.ok());
+  EXPECT_EQ((**r.value)[1], "v");
+}
+
+}  // namespace
+}  // namespace rockfs::coord

@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/hex.h"
+#include "crypto/aes.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/signature.h"
+
+namespace rockfs::crypto {
+namespace {
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, FipsVectors) {
+  EXPECT_EQ(hex_encode(sha256(to_bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_encode(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_encode(sha256(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<Byte>(i * 7));
+  Sha256 ctx;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  std::size_t off = 0;
+  const std::size_t chunks[] = {1, 63, 64, 65, 128, 679};
+  for (const std::size_t c : chunks) {
+    ctx.update(BytesView(data).subspan(off, c));
+    off += c;
+  }
+  ASSERT_EQ(off, data.size());
+  EXPECT_EQ(ctx.finish(), sha256(data));
+}
+
+TEST(Sha256, MillionA) {
+  // FIPS 180-4 long vector: 1,000,000 'a' characters.
+  Sha256 ctx;
+  const Bytes chunk(10000, 'a');
+  for (int i = 0; i < 100; ++i) ctx.update(chunk);
+  EXPECT_EQ(hex_encode(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// ---------------------------------------------------------------- SHA-512
+
+TEST(Sha512, AbcVector) {
+  EXPECT_EQ(hex_encode(sha512(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 5000; ++i) data.push_back(static_cast<Byte>(i * 13));
+  Sha512 ctx;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t take = std::min<std::size_t>(257, data.size() - off);
+    ctx.update(BytesView(data).subspan(off, take));
+    off += take;
+  }
+  EXPECT_EQ(ctx.finish(), sha512(data));
+}
+
+TEST(Sha512, DistinctFromSha256AndSized) {
+  const Bytes d = sha512(to_bytes("rockfs"));
+  EXPECT_EQ(d.size(), 64u);
+  EXPECT_NE(hex_encode(d).substr(0, 64), hex_encode(sha256(to_bytes("rockfs"))));
+}
+
+// ---------------------------------------------------------------- HMAC/HKDF
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  EXPECT_EQ(hex_encode(hmac_sha512(key, to_bytes("Hi There"))),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+            "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const Bytes long_key(200, 0xAA);
+  const Bytes mac = hmac_sha256(long_key, to_bytes("msg"));
+  EXPECT_EQ(mac.size(), 32u);
+  // Hashing the key down to 32 bytes must give the same MAC as the raw long key.
+  EXPECT_EQ(hmac_sha256(sha256(long_key), to_bytes("msg")), mac);
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = hex_decode("000102030405060708090a0b0c");
+  const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+  EXPECT_EQ(hex_encode(hkdf_sha256(ikm, salt, info, 42)),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, DifferentInfoDifferentKeys) {
+  const Bytes ikm = to_bytes("master");
+  EXPECT_NE(hkdf_sha256(ikm, {}, to_bytes("a"), 32), hkdf_sha256(ikm, {}, to_bytes("b"), 32));
+}
+
+// ---------------------------------------------------------------- AES
+
+TEST(Aes256, Fips197Vector) {
+  const Bytes key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes block = hex_decode("00112233445566778899aabbccddeeff");
+  Aes256 cipher(key);
+  cipher.encrypt_block(block.data());
+  EXPECT_EQ(hex_encode(block), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes256, RejectsBadKeySize) {
+  EXPECT_THROW(Aes256(Bytes(16, 0)), std::invalid_argument);
+}
+
+TEST(Aes256Ctr, Sp80038aVector) {
+  const Bytes key = hex_decode(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  const Bytes iv = hex_decode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(hex_encode(aes256_ctr(key, iv, pt)), "601ec313775789a5b7a7f504bbf3d228");
+}
+
+TEST(Aes256Ctr, RoundTripAndNonBlockLength) {
+  const Bytes key(32, 0x42);
+  const Bytes iv(16, 0x01);
+  Bytes pt;
+  for (int i = 0; i < 1000; ++i) pt.push_back(static_cast<Byte>(i));
+  const Bytes ct = aes256_ctr(key, iv, pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(aes256_ctr(key, iv, ct), pt);
+}
+
+TEST(Aes256Ctr, CounterIncrementCrossesByteBoundary) {
+  const Bytes key(32, 0x01);
+  Bytes iv(16, 0x00);
+  iv[15] = 0xFF;  // forces a carry into byte 14 after the first block
+  const Bytes pt(48, 0x00);
+  const Bytes ks = aes256_ctr(key, iv, pt);
+  // Keystream blocks must all differ (counter really advanced).
+  EXPECT_NE(Bytes(ks.begin(), ks.begin() + 16), Bytes(ks.begin() + 16, ks.begin() + 32));
+  EXPECT_NE(Bytes(ks.begin() + 16, ks.begin() + 32), Bytes(ks.begin() + 32, ks.end()));
+}
+
+TEST(SealedBox, RoundTrip) {
+  const Bytes key(32, 0x07);
+  const Bytes iv(16, 0x11);
+  const Bytes aad = to_bytes("header");
+  const Bytes box = seal(key, to_bytes("secret payload"), aad, iv);
+  const auto opened = open_sealed(key, box, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(to_string(*opened), "secret payload");
+}
+
+TEST(SealedBox, DetectsTampering) {
+  const Bytes key(32, 0x07);
+  const Bytes iv(16, 0x11);
+  Bytes box = seal(key, to_bytes("secret payload"), {}, iv);
+  box[20] ^= 0x01;
+  EXPECT_EQ(open_sealed(key, box, {}).code(), ErrorCode::kIntegrity);
+}
+
+TEST(SealedBox, WrongKeyOrAadFails) {
+  const Bytes key(32, 0x07), other(32, 0x08);
+  const Bytes iv(16, 0x11);
+  const Bytes box = seal(key, to_bytes("x"), to_bytes("aad"), iv);
+  EXPECT_EQ(open_sealed(other, box, to_bytes("aad")).code(), ErrorCode::kIntegrity);
+  EXPECT_EQ(open_sealed(key, box, to_bytes("AAD")).code(), ErrorCode::kIntegrity);
+  EXPECT_EQ(open_sealed(key, Bytes(10, 0), {}).code(), ErrorCode::kCorrupted);
+}
+
+// ---------------------------------------------------------------- DRBG
+
+TEST(Drbg, DeterministicPerSeed) {
+  Drbg a(to_bytes("seed"), to_bytes("p"));
+  Drbg b(to_bytes("seed"), to_bytes("p"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, PersonalizationAndReseedChangeOutput) {
+  Drbg a(to_bytes("seed"), to_bytes("p1"));
+  Drbg b(to_bytes("seed"), to_bytes("p2"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+
+  Drbg c(to_bytes("seed"));
+  Drbg d(to_bytes("seed"));
+  d.reseed(to_bytes("fresh entropy"));
+  EXPECT_NE(c.generate(32), d.generate(32));
+}
+
+TEST(Drbg, OutputLooksUniform) {
+  Drbg drbg(to_bytes("uniformity"));
+  const Bytes sample = drbg.generate(1 << 16);
+  std::array<int, 256> counts{};
+  for (const Byte x : sample) ++counts[x];
+  for (const int c : counts) {
+    EXPECT_GT(c, 128);  // expectation 256, allow wide slack
+    EXPECT_LT(c, 512);
+  }
+}
+
+// ---------------------------------------------------------------- Bigint
+
+TEST(Bigint, HexRoundTrip) {
+  const auto v = Uint256::from_hex("0123456789abcdef0011223344556677");
+  EXPECT_EQ(v.to_hex(),
+            "000000000000000000000000000000000123456789abcdef0011223344556677");
+  EXPECT_EQ(Uint256::from_hex(v.to_hex()), v);
+}
+
+TEST(Bigint, AddSubInverse) {
+  const auto a = Uint256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  const auto b = Uint256::from_hex("123456789");
+  Uint256 s, d;
+  const auto carry = add_with_carry(a, b, s);
+  EXPECT_EQ(carry, 1u);  // wraps
+  sub_with_borrow(s, b, d);
+  EXPECT_EQ(d, a);
+}
+
+TEST(Bigint, MulWideKnown) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const Uint256 a(UINT64_MAX);
+  const Uint512 p = mul_wide(a, a);
+  EXPECT_EQ(p.limb[0], 1u);
+  EXPECT_EQ(p.limb[1], UINT64_MAX - 1);
+  EXPECT_EQ(p.limb[2], 0u);
+}
+
+TEST(Bigint, ModKnown) {
+  const Uint512 a = mul_wide(Uint256(1000003), Uint256(999983));
+  const Uint256 m(97);
+  const Uint256 r = mod(a, m);
+  EXPECT_EQ(r.limb[0], (1000003ULL % 97) * (999983ULL % 97) % 97);
+}
+
+TEST(Bigint, PowModFermat) {
+  // 2^(p-1) mod p == 1 for prime p.
+  const Uint256 p(1000003);
+  EXPECT_EQ(pow_mod(Uint256(2), Uint256(1000002), p), Uint256(1));
+}
+
+TEST(Bigint, InvModPrime) {
+  const Uint256 p(1000003);
+  const Uint256 a(123456);
+  const Uint256 inv = inv_mod_prime(a, p);
+  EXPECT_EQ(mul_mod(a, inv, p), Uint256(1));
+  EXPECT_THROW(inv_mod_prime(Uint256(0), p), std::invalid_argument);
+}
+
+TEST(Bigint, IsqrtExactAndFloor) {
+  Uint512 a{};
+  a.limb[0] = 144;
+  EXPECT_EQ(isqrt(a), Uint256(12));
+  a.limb[0] = 150;
+  EXPECT_EQ(isqrt(a), Uint256(12));
+  a.limb[0] = 0;
+  EXPECT_EQ(isqrt(a), Uint256(0));
+}
+
+TEST(Bigint, IcbrtExactAndFloor) {
+  Uint512 a{};
+  a.limb[0] = 27'000;
+  EXPECT_EQ(icbrt(a), Uint256(30));
+  a.limb[0] = 26'999;
+  EXPECT_EQ(icbrt(a), Uint256(29));
+}
+
+TEST(Bigint, BitLength) {
+  EXPECT_EQ(Uint256(0).bit_length(), 0u);
+  EXPECT_EQ(Uint256(1).bit_length(), 1u);
+  EXPECT_EQ(Uint256(255).bit_length(), 8u);
+  EXPECT_EQ(Uint256::from_limbs(0, 0, 0, 1).bit_length(), 193u);
+}
+
+// ---------------------------------------------------------------- secp256k1
+
+TEST(Secp256k1, GeneratorOnCurve) { EXPECT_TRUE(on_curve(generator())); }
+
+TEST(Secp256k1, OrderTimesGeneratorIsIdentity) {
+  EXPECT_TRUE(scalar_mul(curve_n(), generator()).infinity);
+}
+
+TEST(Secp256k1, DoubleMatchesAdd) {
+  const Point g = generator();
+  const Point d = point_double(g);
+  EXPECT_EQ(d, point_add(g, g));
+  EXPECT_EQ(d, scalar_mul(Uint256(2), g));
+  // Known x-coordinate of 2G.
+  EXPECT_EQ(d.x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+}
+
+TEST(Secp256k1, AdditionIsCommutativeAndAssociative) {
+  const Point a = scalar_mul(Uint256(12345), generator());
+  const Point b = scalar_mul(Uint256(67890), generator());
+  const Point c = scalar_mul(Uint256(424242), generator());
+  EXPECT_EQ(point_add(a, b), point_add(b, a));
+  EXPECT_EQ(point_add(point_add(a, b), c), point_add(a, point_add(b, c)));
+}
+
+TEST(Secp256k1, ScalarMulDistributes) {
+  const Uint256 a(777), b(888);
+  const Point lhs = point_add(scalar_mul_base(a), scalar_mul_base(b));
+  EXPECT_EQ(lhs, scalar_mul_base(scalar_add(a, b)));
+}
+
+TEST(Secp256k1, NegationCancels) {
+  const Point p = scalar_mul_base(Uint256(31337));
+  EXPECT_TRUE(point_add(p, point_negate(p)).infinity);
+}
+
+TEST(Secp256k1, IdentityLaws) {
+  const Point p = scalar_mul_base(Uint256(5));
+  EXPECT_EQ(point_add(p, Point{}), p);
+  EXPECT_EQ(point_add(Point{}, p), p);
+  EXPECT_TRUE(scalar_mul(Uint256(0), p).infinity);
+}
+
+TEST(Secp256k1, EncodeDecodeRoundTrip) {
+  const Point p = scalar_mul_base(Uint256(99999));
+  EXPECT_EQ(point_decode(point_encode(p)), p);
+  EXPECT_TRUE(point_decode(point_encode(Point{})).infinity);
+}
+
+TEST(Secp256k1, DecodeRejectsOffCurve) {
+  Bytes enc = point_encode(scalar_mul_base(Uint256(3)));
+  enc[40] ^= 0x01;
+  EXPECT_THROW(point_decode(enc), std::invalid_argument);
+  EXPECT_THROW(point_decode(Bytes{0x02, 0x00}), std::invalid_argument);
+}
+
+TEST(Secp256k1, FastReductionMatchesGenericModP) {
+  // fe_mul uses the special-form reduction for p = 2^256 - 2^32 - 977; it
+  // must agree with the generic bitwise mod on random inputs, including
+  // values just below p (the carry-heavy corner).
+  Drbg drbg(to_bytes("fe-reduce"));
+  Uint256 p_minus_1;
+  sub_with_borrow(curve_p(), Uint256(1), p_minus_1);
+  std::vector<Uint256> samples{Uint256(0), Uint256(1), p_minus_1};
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back(mod(Uint512::from_uint256(Uint256::from_bytes_be(drbg.generate(32))),
+                          curve_p()));
+  }
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      EXPECT_EQ(fe_mul(a, b), mul_mod(a, b, curve_p()))
+          << a.to_hex() << " * " << b.to_hex();
+    }
+  }
+}
+
+TEST(Secp256k1, FieldInverse) {
+  const Uint256 a = Uint256::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(fe_mul(a, fe_inv(a)), Uint256(1));
+}
+
+TEST(Secp256k1, ScalarInverse) {
+  const Uint256 a(123456789);
+  EXPECT_EQ(scalar_mul_mod_n(a, scalar_inv(a)), Uint256(1));
+}
+
+// ---------------------------------------------------------------- Schnorr
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  Drbg drbg(to_bytes("schnorr-test"));
+  const KeyPair kp = generate_keypair(drbg);
+  const Bytes msg = to_bytes("log entry #42");
+  const Bytes sig = sign(kp, msg);
+  EXPECT_EQ(sig.size(), kSignatureSize);
+  EXPECT_TRUE(verify(kp.public_key, msg, sig));
+  EXPECT_TRUE(verify(kp.public_bytes(), msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedMessage) {
+  Drbg drbg(to_bytes("schnorr-test2"));
+  const KeyPair kp = generate_keypair(drbg);
+  const Bytes sig = sign(kp, to_bytes("original"));
+  EXPECT_FALSE(verify(kp.public_key, to_bytes("0riginal"), sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  Drbg drbg(to_bytes("schnorr-test3"));
+  const KeyPair kp = generate_keypair(drbg);
+  Bytes sig = sign(kp, to_bytes("msg"));
+  sig[80] ^= 0x01;
+  EXPECT_FALSE(verify(kp.public_key, to_bytes("msg"), sig));
+  sig[80] ^= 0x01;
+  sig[10] ^= 0x01;  // corrupt R encoding -> off curve -> clean reject
+  EXPECT_FALSE(verify(kp.public_key, to_bytes("msg"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  Drbg drbg(to_bytes("schnorr-test4"));
+  const KeyPair kp1 = generate_keypair(drbg);
+  const KeyPair kp2 = generate_keypair(drbg);
+  const Bytes sig = sign(kp1, to_bytes("msg"));
+  EXPECT_FALSE(verify(kp2.public_key, to_bytes("msg"), sig));
+}
+
+TEST(Schnorr, RejectsMalformedInputs) {
+  Drbg drbg(to_bytes("schnorr-test5"));
+  const KeyPair kp = generate_keypair(drbg);
+  EXPECT_FALSE(verify(kp.public_key, to_bytes("msg"), Bytes(10, 0)));
+  EXPECT_FALSE(verify(Bytes(65, 0xAA), to_bytes("msg"), sign(kp, to_bytes("msg"))));
+}
+
+TEST(Schnorr, KeypairFromPrivateRoundTrip) {
+  Drbg drbg(to_bytes("schnorr-test6"));
+  const KeyPair kp = generate_keypair(drbg);
+  const KeyPair restored = keypair_from_private(kp.private_key.to_bytes_be());
+  EXPECT_EQ(restored.public_key, kp.public_key);
+  const Bytes sig = sign(restored, to_bytes("m"));
+  EXPECT_TRUE(verify(kp.public_key, to_bytes("m"), sig));
+}
+
+TEST(Schnorr, DeterministicSignatures) {
+  Drbg drbg(to_bytes("schnorr-test7"));
+  const KeyPair kp = generate_keypair(drbg);
+  EXPECT_EQ(sign(kp, to_bytes("same msg")), sign(kp, to_bytes("same msg")));
+  EXPECT_NE(sign(kp, to_bytes("msg a")), sign(kp, to_bytes("msg b")));
+}
+
+}  // namespace
+}  // namespace rockfs::crypto

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "crypto/drbg.h"
+#include "diff/binary_diff.h"
+#include "fssagg/fssagg.h"
+
+namespace rockfs {
+namespace {
+
+// ------------------------------------------------------------------ FssAgg
+
+struct FssAggFixture {
+  crypto::Drbg drbg{to_bytes("fssagg-test")};
+  fssagg::FssAggKeys keys = fssagg::fssagg_keygen(drbg);
+
+  // Builds a signed log of the given entries, returning entries+tags and the
+  // final aggregates.
+  struct Built {
+    std::vector<fssagg::TaggedEntry> log;
+    Bytes agg_a;
+    Bytes agg_b;
+  };
+  Built build(const std::vector<std::string>& entries) {
+    fssagg::FssAggSigner signer(keys);
+    Built out;
+    for (const auto& e : entries) {
+      fssagg::TaggedEntry te;
+      te.entry = to_bytes(e);
+      te.tag = signer.append(te.entry);
+      out.log.push_back(std::move(te));
+    }
+    out.agg_a = signer.aggregate_a();
+    out.agg_b = signer.aggregate_b();
+    return out;
+  }
+};
+
+TEST(FssAgg, CleanLogVerifies) {
+  FssAggFixture fx;
+  const auto built = fx.build({"op1: create f", "op2: update f", "op3: delete g"});
+  const auto report =
+      fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 3);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.corrupt_entries.empty());
+  EXPECT_FALSE(report.aggregate_mismatch);
+  EXPECT_FALSE(report.count_mismatch);
+}
+
+TEST(FssAgg, EmptyLogVerifies) {
+  FssAggFixture fx;
+  const auto built = fx.build({});
+  EXPECT_TRUE(fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 0).ok);
+}
+
+TEST(FssAgg, DetectsModifiedEntry) {
+  FssAggFixture fx;
+  auto built = fx.build({"a", "b", "c", "d"});
+  built.log[2].entry = to_bytes("C-tampered");
+  const auto report =
+      fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 4);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.corrupt_entries.size(), 1u);
+  EXPECT_EQ(report.corrupt_entries[0], 2u);
+}
+
+TEST(FssAgg, DetectsDeletionInMiddle) {
+  FssAggFixture fx;
+  auto built = fx.build({"a", "b", "c"});
+  built.log.erase(built.log.begin() + 1);
+  const auto report =
+      fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 3);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.count_mismatch);
+  // Entry "c" now sits at index 1 and was MACed with key A_3, so it fails too.
+  EXPECT_FALSE(report.corrupt_entries.empty());
+}
+
+TEST(FssAgg, DetectsTruncation) {
+  FssAggFixture fx;
+  auto built = fx.build({"a", "b", "c", "d"});
+  built.log.resize(2);  // attacker chops the tail
+  const auto report =
+      fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 4);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.count_mismatch);
+  EXPECT_TRUE(report.aggregate_mismatch);  // aggregates cover all 4 entries
+}
+
+TEST(FssAgg, DetectsReordering) {
+  FssAggFixture fx;
+  auto built = fx.build({"a", "b", "c"});
+  std::swap(built.log[0], built.log[1]);
+  const auto report =
+      fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 3);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.corrupt_entries.size(), 2u);
+}
+
+TEST(FssAgg, DetectsInsertion) {
+  FssAggFixture fx;
+  auto built = fx.build({"a", "b"});
+  fssagg::TaggedEntry bogus;
+  bogus.entry = to_bytes("evil");
+  bogus.tag.mac_a = Bytes(32, 0);
+  bogus.tag.mac_b = Bytes(32, 0);
+  built.log.insert(built.log.begin() + 1, bogus);
+  const auto report =
+      fssagg::fssagg_verify(fx.keys, built.log, built.agg_a, built.agg_b, 2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.count_mismatch);
+  EXPECT_FALSE(report.corrupt_entries.empty());
+}
+
+TEST(FssAgg, ForwardSecurity) {
+  // An attacker who steals the signer state after i entries cannot produce
+  // tags valid for earlier indices: re-MACing entry 0 with the stolen
+  // (evolved) key fails verification.
+  FssAggFixture fx;
+  fssagg::FssAggSigner signer(fx.keys);
+  fssagg::TaggedEntry e0;
+  e0.entry = to_bytes("original");
+  e0.tag = signer.append(e0.entry);
+
+  // "Steal" the state by continuing to use the signer: any tag it can produce
+  // now is for index >= 1. Try to pass one off as entry 0.
+  fssagg::FssAggSigner stolen = signer;  // state after 1 append
+  fssagg::TaggedEntry forged;
+  forged.entry = to_bytes("rewritten history");
+  forged.tag = stolen.append(forged.entry);
+
+  std::vector<fssagg::TaggedEntry> log{forged};
+  const auto report = fssagg::fssagg_verify(fx.keys, log, stolen.aggregate_a(),
+                                            stolen.aggregate_b(), 1);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.corrupt_entries.empty());
+}
+
+TEST(FssAgg, SameEntryDifferentPositionsHasDifferentTags) {
+  FssAggFixture fx;
+  fssagg::FssAggSigner signer(fx.keys);
+  const auto t1 = signer.append(to_bytes("same"));
+  const auto t2 = signer.append(to_bytes("same"));
+  EXPECT_NE(t1.mac_a, t2.mac_a);
+  EXPECT_NE(t1.mac_b, t2.mac_b);
+}
+
+TEST(FssAgg, KeygenProducesDistinctKeys) {
+  crypto::Drbg drbg(to_bytes("kg"));
+  const auto k1 = fssagg::fssagg_keygen(drbg);
+  const auto k2 = fssagg::fssagg_keygen(drbg);
+  EXPECT_NE(k1.a1, k1.b1);
+  EXPECT_NE(k1.a1, k2.a1);
+  EXPECT_THROW(fssagg::FssAggSigner({Bytes(16, 0), Bytes(32, 0)}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- Diff
+
+TEST(Diff, IdenticalFilesProduceTinyDelta) {
+  Rng rng(10);
+  const Bytes data = rng.next_bytes(100'000);
+  const Bytes delta = diff::encode(data, data);
+  // One coalesced COPY plus at most one sub-block literal tail.
+  EXPECT_LT(delta.size(), 1'100u);
+  const auto patched = diff::patch(data, delta);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(*patched, data);
+}
+
+TEST(Diff, AppendOnlyDeltaProportionalToAppend) {
+  Rng rng(11);
+  const Bytes base = rng.next_bytes(1'000'000);
+  Bytes appended = base;
+  const Bytes extra = rng.next_bytes(300'000);  // the paper's +30% workload
+  append(appended, extra);
+  const Bytes delta = diff::encode(base, appended);
+  // Delta carries the appended bytes plus opcode overhead, far below the file.
+  EXPECT_LT(delta.size(), 330'000u);
+  EXPECT_GT(delta.size(), 300'000u);
+  const auto patched = diff::patch(base, delta);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(*patched, appended);
+}
+
+TEST(Diff, InsertionInMiddle) {
+  Rng rng(12);
+  const Bytes base = rng.next_bytes(50'000);
+  Bytes modified(base.begin(), base.begin() + 20'000);
+  const Bytes inserted = rng.next_bytes(777);
+  append(modified, inserted);
+  modified.insert(modified.end(), base.begin() + 20'000, base.end());
+  const Bytes delta = diff::encode(base, modified);
+  EXPECT_LT(delta.size(), 10'000u);  // much smaller than the 50KB file
+  const auto patched = diff::patch(base, delta);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(*patched, modified);
+}
+
+TEST(Diff, RandomEditScriptRoundTrips) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes base = rng.next_bytes(rng.next_below(30'000));
+    Bytes modified = base;
+    // Random point mutations, deletions and insertions.
+    for (int e = 0; e < 10 && !modified.empty(); ++e) {
+      const auto kind = rng.next_below(3);
+      const std::size_t at = rng.next_below(modified.size());
+      if (kind == 0) {
+        modified[at] ^= 0xFF;
+      } else if (kind == 1) {
+        modified.erase(modified.begin() + static_cast<std::ptrdiff_t>(at));
+      } else {
+        const Bytes ins = rng.next_bytes(rng.next_below(500));
+        modified.insert(modified.begin() + static_cast<std::ptrdiff_t>(at), ins.begin(),
+                        ins.end());
+      }
+    }
+    const Bytes delta = diff::encode(base, modified);
+    const auto patched = diff::patch(base, delta);
+    ASSERT_TRUE(patched.ok()) << "trial " << trial;
+    EXPECT_EQ(*patched, modified) << "trial " << trial;
+  }
+}
+
+TEST(Diff, EmptyEdgeCases) {
+  const Bytes some = to_bytes("data");
+  auto p1 = diff::patch({}, diff::encode({}, some));
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, some);
+  auto p2 = diff::patch(some, diff::encode(some, {}));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(p2->empty());
+  auto p3 = diff::patch({}, diff::encode({}, {}));
+  ASSERT_TRUE(p3.ok());
+  EXPECT_TRUE(p3->empty());
+}
+
+TEST(Diff, PatchRejectsCorruptDelta) {
+  const Bytes base = to_bytes("0123456789");
+  Bytes delta = diff::encode(base, to_bytes("0123456789abc"));
+  delta[0] = 0x7F;  // unknown opcode
+  EXPECT_EQ(diff::patch(base, delta).code(), ErrorCode::kCorrupted);
+
+  Bytes truncated = diff::encode(base, to_bytes("0123456789abc"));
+  truncated.resize(truncated.size() - 1);
+  EXPECT_EQ(diff::patch(base, truncated).code(), ErrorCode::kCorrupted);
+}
+
+TEST(Diff, PatchRejectsOutOfRangeCopy) {
+  // Hand-craft a COPY beyond the source.
+  Bytes delta;
+  delta.push_back(0x01);
+  append_u64(delta, 0);
+  append_u64(delta, 100);
+  EXPECT_EQ(diff::patch(to_bytes("short"), delta).code(), ErrorCode::kCorrupted);
+}
+
+TEST(LogDelta, PolicyPicksSmaller) {
+  Rng rng(14);
+  const Bytes base = rng.next_bytes(100'000);
+  // Small change -> delta mode.
+  Bytes small_change = base;
+  small_change[500] ^= 1;
+  const auto d1 = diff::make_log_delta(base, small_change);
+  EXPECT_FALSE(d1.whole_file);
+  EXPECT_LT(d1.payload.size(), small_change.size());
+
+  // Complete rewrite -> whole-file mode.
+  const Bytes rewrite = rng.next_bytes(100'000);
+  const auto d2 = diff::make_log_delta(base, rewrite);
+  EXPECT_TRUE(d2.whole_file);
+  EXPECT_EQ(d2.payload, rewrite);
+}
+
+TEST(LogDelta, ApplyBothModes) {
+  Rng rng(15);
+  const Bytes base = rng.next_bytes(10'000);
+  Bytes changed = base;
+  changed[1] ^= 0x10;
+  for (const auto& delta : {diff::make_log_delta(base, changed),
+                            diff::LogDelta{true, changed}}) {
+    const auto out = diff::apply_log_delta(base, delta);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, changed);
+  }
+}
+
+TEST(LogDelta, SerializeRoundTrip) {
+  const diff::LogDelta d{false, to_bytes("opcode-stream")};
+  const auto restored = diff::LogDelta::deserialize(d.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->whole_file, false);
+  EXPECT_EQ(restored->payload, d.payload);
+  EXPECT_EQ(diff::LogDelta::deserialize(Bytes{}).code(), ErrorCode::kCorrupted);
+  EXPECT_EQ(diff::LogDelta::deserialize(Bytes{9}).code(), ErrorCode::kCorrupted);
+}
+
+TEST(Diff, FirstVersionIsWholeFile) {
+  // Creating a file (empty old version): the "delta" degenerates to an
+  // insert of the whole content, and make_log_delta flags it whole-file
+  // (insert overhead makes the encoded stream slightly larger).
+  const Bytes content = to_bytes("brand new file");
+  const auto d = diff::make_log_delta({}, content);
+  EXPECT_TRUE(d.whole_file);
+  EXPECT_EQ(d.payload, content);
+}
+
+}  // namespace
+}  // namespace rockfs

@@ -1,0 +1,160 @@
+// Model-based testing: drive the real stack with random operation sequences
+// and check it against a trivially-correct in-memory reference model.
+//
+//   * ScfsModel      — POSIX-ish ops vs a map<path, Bytes>
+//   * RecoveryModel  — random edit histories + ransomware suffix; recovery
+//                      must restore the last pre-attack state and keep any
+//                      whole-file post-attack writes
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "rockfs/attack.h"
+#include "rockfs/deployment.h"
+
+namespace rockfs::core {
+namespace {
+
+// -------------------------------------------------------------- SCFS model
+
+class ScfsModel : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(ScfsModel, RandomOpsMatchReference) {
+  Deployment dep;
+  auto& alice = dep.add_user("alice");
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 5);
+
+  std::map<std::string, Bytes> reference;
+  auto random_path = [&] { return "/m/f" + std::to_string(rng.next_below(6)); };
+
+  for (int step = 0; step < 60; ++step) {
+    const auto op = rng.next_below(6);
+    const std::string path = random_path();
+    const bool exists = reference.contains(path);
+    switch (op) {
+      case 0: {  // create empty
+        auto fd = alice.create(path);
+        if (exists) {
+          EXPECT_EQ(fd.code(), ErrorCode::kConflict) << path;
+        } else {
+          ASSERT_TRUE(fd.ok());
+          ASSERT_TRUE(alice.close(*fd).ok());
+          reference[path] = {};
+        }
+        break;
+      }
+      case 1: {  // overwrite with fresh content
+        const Bytes content = rng.next_bytes(rng.next_below(5'000));
+        ASSERT_TRUE(alice.write_file(path, content).ok());
+        reference[path] = content;
+        break;
+      }
+      case 2: {  // append via open/append/close
+        auto fd = alice.open(path);
+        if (!exists) {
+          EXPECT_EQ(fd.code(), ErrorCode::kNotFound);
+          break;
+        }
+        ASSERT_TRUE(fd.ok());
+        const Bytes extra = rng.next_bytes(rng.next_below(2'000));
+        ASSERT_TRUE(alice.append(*fd, extra).ok());
+        ASSERT_TRUE(alice.close(*fd).ok());
+        append(reference[path], extra);
+        break;
+      }
+      case 3: {  // unlink
+        const auto st = alice.unlink(path);
+        if (exists) {
+          EXPECT_TRUE(st.ok()) << (st.ok() ? std::string() : st.error().message);
+          reference.erase(path);
+        } else {
+          EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+        }
+        break;
+      }
+      case 4: {  // stat
+        auto st = alice.stat(path);
+        if (exists) {
+          ASSERT_TRUE(st.ok());
+          EXPECT_EQ(st->size, reference[path].size()) << path;
+        } else {
+          EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+        }
+        break;
+      }
+      case 5: {  // readdir must list exactly the reference keys
+        auto listing = alice.readdir("/m/");
+        ASSERT_TRUE(listing.ok());
+        EXPECT_EQ(listing->size(), reference.size());
+        break;
+      }
+    }
+  }
+  // Final sweep: every file's content matches the model byte-for-byte.
+  for (const auto& [path, content] : reference) {
+    auto got = alice.read_file(path);
+    ASSERT_TRUE(got.ok()) << path;
+    EXPECT_EQ(*got, content) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScfsModel, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------- Recovery model
+
+class RecoveryModel : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(RecoveryModel, RansomwareSuffixAlwaysRecoverable) {
+  Deployment dep;
+  auto& alice = dep.add_user("alice");
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+
+  // Random legitimate history over a few files.
+  std::map<std::string, Bytes> truth;
+  const int files = 2 + static_cast<int>(rng.next_below(3));
+  for (int f = 0; f < files; ++f) {
+    const std::string path = "/r/f" + std::to_string(f);
+    Bytes content = rng.next_bytes(500 + rng.next_below(3'000));
+    alice.write_file(path, content).expect("create");
+    const int edits = static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.next_below(3)) {
+        case 0: append(content, rng.next_bytes(rng.next_below(1'000))); break;
+        case 1:
+          if (!content.empty()) content[rng.next_below(content.size())] ^= 0x42;
+          break;
+        case 2: content = rng.next_bytes(300 + rng.next_below(2'000)); break;
+      }
+      alice.write_file(path, content).expect("edit");
+    }
+    truth[path] = content;
+  }
+
+  // The attack encrypts a random subset (at least one file).
+  std::vector<std::string> victims;
+  for (const auto& [path, content] : truth) {
+    if (victims.empty() || rng.next_below(2) == 0) victims.push_back(path);
+  }
+  const auto attack = ransomware_attack(alice, victims, rng.next_u64());
+  ASSERT_EQ(attack.files_encrypted, victims.size());
+
+  // Recover everything; every file must equal its last legitimate state.
+  auto recovery = dep.make_recovery_service("alice");
+  auto results = recovery.recover_all(attack.malicious_seqs);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) {
+    EXPECT_EQ(r.content, truth[r.path]) << r.path << " seed=" << GetParam();
+  }
+  // And the user agent reads the same thing.
+  for (const auto& [path, content] : truth) {
+    auto got = alice.read_file(path);
+    ASSERT_TRUE(got.ok()) << path;
+    EXPECT_EQ(*got, content) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryModel, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace rockfs::core

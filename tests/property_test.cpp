@@ -1,0 +1,341 @@
+// Parameterized property sweeps over the algorithmic substrates: every test
+// states an invariant and checks it across a grid of geometries, sizes and
+// seeds (gtest TEST_P / INSTANTIATE_TEST_SUITE_P). These complement the
+// example-based unit tests in the per-module suites.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "diff/binary_diff.h"
+#include "erasure/reed_solomon.h"
+#include "fssagg/fssagg.h"
+#include "secretshare/pvss.h"
+#include "secretshare/shamir.h"
+
+namespace rockfs {
+namespace {
+
+// ----------------------------------------------------- Reed-Solomon sweeps
+
+using RsParam = std::tuple<int /*k*/, int /*n*/, int /*size*/, int /*seed*/>;
+
+class RsProperty : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(RsProperty, AnyKSubsetReconstructs) {
+  const auto [k, n, size, seed] = GetParam();
+  const erasure::ReedSolomon rs(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(size));
+  const auto shards = rs.encode(data);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<erasure::Shard> subset;
+    std::vector<std::size_t> indices(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    // Fisher-Yates prefix shuffle picks a random k-subset.
+    for (std::size_t i = 0; i < static_cast<std::size_t>(k); ++i) {
+      const std::size_t j = i + rng.next_below(indices.size() - i);
+      std::swap(indices[i], indices[j]);
+      subset.push_back(shards[indices[i]]);
+    }
+    const auto decoded = rs.decode(subset, data.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST_P(RsProperty, TotalStorageIsNOverK) {
+  const auto [k, n, size, seed] = GetParam();
+  if (size == 0) return;
+  const erasure::ReedSolomon rs(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(size));
+  const auto shards = rs.encode(data);
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.data.size();
+  EXPECT_GE(static_cast<double>(total),
+            static_cast<double>(data.size()) * static_cast<double>(n) /
+                static_cast<double>(k) * 0.99);
+  EXPECT_LE(total, (data.size() / static_cast<std::size_t>(k) + 1) *
+                       static_cast<std::size_t>(n));
+}
+
+TEST_P(RsProperty, RepairReproducesExactShard) {
+  const auto [k, n, size, seed] = GetParam();
+  if (k == n) return;  // nothing to repair from a full set's complement
+  const erasure::ReedSolomon rs(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  Rng rng(static_cast<std::uint64_t>(seed) ^ 0xBEEF);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(size));
+  auto shards = rs.encode(data);
+  // Lose shard 0, repair it from the tail.
+  std::vector<erasure::Shard> rest(shards.begin() + 1, shards.end());
+  const auto repaired = rs.repair_shard(rest, 0, data.size());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->data, shards[0].data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsProperty,
+    ::testing::Values(RsParam{1, 2, 100, 1}, RsParam{2, 4, 4096, 2},
+                      RsParam{2, 4, 65537, 3}, RsParam{3, 7, 1000, 4},
+                      RsParam{4, 6, 12345, 5}, RsParam{5, 16, 2048, 6},
+                      RsParam{7, 10, 333, 7}, RsParam{2, 4, 0, 8},
+                      RsParam{2, 4, 1, 9}, RsParam{10, 30, 5000, 10}));
+
+// ----------------------------------------------------------- Shamir sweeps
+
+using ShamirParam = std::tuple<int /*k*/, int /*n*/, int /*len*/>;
+
+class ShamirProperty : public ::testing::TestWithParam<ShamirParam> {};
+
+TEST_P(ShamirProperty, KReconstructsKMinusOneRejected) {
+  const auto [k, n, len] = GetParam();
+  crypto::Drbg drbg(to_bytes("shamir-prop"),
+                    to_bytes(std::to_string(k) + "." + std::to_string(n)));
+  const Bytes secret = drbg.generate(static_cast<std::size_t>(len));
+  const auto shares = secretshare::shamir_share(secret, static_cast<std::size_t>(k),
+                                                static_cast<std::size_t>(n), drbg);
+  std::vector<secretshare::ShamirShare> subset(shares.begin(), shares.begin() + k);
+  auto combined = secretshare::shamir_combine(subset, static_cast<std::size_t>(k));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, secret);
+  if (k > 1) {
+    subset.pop_back();
+    EXPECT_FALSE(secretshare::shamir_combine(subset, static_cast<std::size_t>(k)).ok());
+  }
+}
+
+TEST_P(ShamirProperty, SharesLookIndependentOfSecret) {
+  const auto [k, n, len] = GetParam();
+  if (k < 2 || len == 0) return;
+  // Two different secrets shared with the same randomness stream: a single
+  // share's bytes must not reveal which secret was shared (checked by the
+  // weaker-but-testable proxy: shares differ from the secret itself).
+  crypto::Drbg drbg(to_bytes("shamir-prop2"));
+  const Bytes secret = drbg.generate(static_cast<std::size_t>(len));
+  const auto shares = secretshare::shamir_share(secret, static_cast<std::size_t>(k),
+                                                static_cast<std::size_t>(n), drbg);
+  for (const auto& s : shares) EXPECT_NE(s.y, secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ShamirProperty,
+                         ::testing::Values(ShamirParam{1, 1, 32}, ShamirParam{1, 5, 32},
+                                           ShamirParam{2, 3, 64}, ShamirParam{3, 5, 16},
+                                           ShamirParam{4, 4, 128}, ShamirParam{5, 9, 1},
+                                           ShamirParam{8, 15, 256},
+                                           ShamirParam{2, 3, 0}));
+
+// ------------------------------------------------------------- PVSS sweeps
+
+using PvssParam = std::tuple<int /*k*/, int /*n*/>;
+
+class PvssProperty : public ::testing::TestWithParam<PvssParam> {};
+
+TEST_P(PvssProperty, EndToEndAcrossThresholds) {
+  const auto [k, n] = GetParam();
+  crypto::Drbg drbg(to_bytes("pvss-prop"),
+                    to_bytes(std::to_string(k) + "/" + std::to_string(n)));
+  std::vector<crypto::KeyPair> participants;
+  std::vector<crypto::Point> pubs;
+  for (int i = 0; i < n; ++i) {
+    participants.push_back(crypto::generate_keypair(drbg));
+    pubs.push_back(participants.back().public_key);
+  }
+  const crypto::Uint256 secret = crypto::scalar_from_bytes(drbg.generate(32));
+  const auto deal =
+      secretshare::pvss_share(secret, pubs, static_cast<std::size_t>(k), drbg);
+  ASSERT_TRUE(secretshare::pvss_verify_deal(deal, pubs));
+
+  std::vector<secretshare::PvssDecryptedShare> dec;
+  for (int i = n; i > n - k; --i) {  // use the LAST k participants
+    auto share = secretshare::pvss_decrypt_share(deal, static_cast<std::size_t>(i),
+                                                 participants[static_cast<std::size_t>(i - 1)],
+                                                 drbg);
+    ASSERT_TRUE(share.ok());
+    ASSERT_TRUE(secretshare::pvss_verify_decrypted(deal, *share,
+                                                   pubs[static_cast<std::size_t>(i - 1)]));
+    dec.push_back(*share);
+  }
+  auto combined = secretshare::pvss_combine(dec, static_cast<std::size_t>(k));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, secretshare::pvss_public_secret(secret));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PvssProperty,
+                         ::testing::Values(PvssParam{1, 1}, PvssParam{1, 3},
+                                           PvssParam{2, 3}, PvssParam{2, 4},
+                                           PvssParam{3, 4}, PvssParam{3, 5},
+                                           PvssParam{4, 7}));
+
+// ----------------------------------------------------------- FssAgg sweeps
+
+// (length, tamper_index) — tamper_index == -1 means truncate the last entry,
+// -2 means swap the first two entries.
+using FssAggParam = std::tuple<int, int>;
+
+class FssAggProperty : public ::testing::TestWithParam<FssAggParam> {};
+
+TEST_P(FssAggProperty, EveryManipulationIsDetected) {
+  const auto [length, manipulation] = GetParam();
+  crypto::Drbg drbg(to_bytes("fssagg-prop"), to_bytes(std::to_string(length)));
+  const auto keys = fssagg::fssagg_keygen(drbg);
+  fssagg::FssAggSigner signer(keys);
+  std::vector<fssagg::TaggedEntry> log;
+  for (int i = 0; i < length; ++i) {
+    fssagg::TaggedEntry te;
+    te.entry = to_bytes("entry-" + std::to_string(i));
+    te.tag = signer.append(te.entry);
+    log.push_back(std::move(te));
+  }
+  // Clean log passes.
+  ASSERT_TRUE(fssagg::fssagg_verify(keys, log, signer.aggregate_a(), signer.aggregate_b(),
+                                    static_cast<std::size_t>(length))
+                  .ok);
+  // Manipulate.
+  if (manipulation == -1) {
+    log.pop_back();
+  } else if (manipulation == -2) {
+    std::swap(log[0], log[1]);
+  } else {
+    log[static_cast<std::size_t>(manipulation)].entry.push_back('!');
+  }
+  const auto report = fssagg::fssagg_verify(keys, log, signer.aggregate_a(),
+                                            signer.aggregate_b(),
+                                            static_cast<std::size_t>(length));
+  EXPECT_FALSE(report.ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Manipulations, FssAggProperty,
+                         ::testing::Values(FssAggParam{1, 0}, FssAggParam{2, -2},
+                                           FssAggParam{3, 0}, FssAggParam{3, 1},
+                                           FssAggParam{3, 2}, FssAggParam{8, 4},
+                                           FssAggParam{8, -1}, FssAggParam{64, 63},
+                                           FssAggParam{64, 0}, FssAggParam{64, -1}));
+
+// --------------------------------------------------------------- Diff fuzz
+
+class DiffProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(DiffProperty, PatchOfEncodeIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    const Bytes base = rng.next_bytes(rng.next_below(60'000));
+    Bytes target;
+    // Build the target as a random splice of base fragments and fresh bytes,
+    // which covers copies, moves, deletions and insertions.
+    while (target.size() < 60'000 && rng.next_below(10) != 0) {
+      if (!base.empty() && rng.next_below(2) == 0) {
+        const std::size_t start = rng.next_below(base.size());
+        const std::size_t len = std::min<std::size_t>(
+            rng.next_below(8'000) + 1, base.size() - start);
+        target.insert(target.end(), base.begin() + static_cast<std::ptrdiff_t>(start),
+                      base.begin() + static_cast<std::ptrdiff_t>(start + len));
+      } else {
+        const Bytes fresh = rng.next_bytes(rng.next_below(2'000));
+        append(target, fresh);
+      }
+    }
+    const Bytes delta = diff::encode(base, target);
+    const auto patched = diff::patch(base, delta);
+    ASSERT_TRUE(patched.ok());
+    EXPECT_EQ(*patched, target);
+    // The LogDelta policy never produces a payload larger than the target
+    // (plus the one-byte flag).
+    const auto ld = diff::make_log_delta(base, target);
+    EXPECT_LE(ld.payload.size(), std::max<std::size_t>(target.size(), 1));
+    const auto applied = diff::apply_log_delta(base, ld);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_EQ(*applied, target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(1, 9));
+
+// ----------------------------------------------------------- Sealed boxes
+
+class SealProperty : public ::testing::TestWithParam<int /*size*/> {};
+
+TEST_P(SealProperty, RoundTripAndSingleBitTamperDetection) {
+  crypto::Drbg drbg(to_bytes("seal-prop"), to_bytes(std::to_string(GetParam())));
+  const Bytes key = drbg.generate(32);
+  const Bytes plain = drbg.generate(static_cast<std::size_t>(GetParam()));
+  const Bytes box = crypto::seal(key, plain, to_bytes("aad"), drbg.generate_iv());
+  auto opened = crypto::open_sealed(key, box, to_bytes("aad"));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plain);
+  // Flip one bit at several positions: every flip must be caught.
+  Rng rng(99);
+  for (int i = 0; i < 8; ++i) {
+    Bytes tampered = box;
+    const std::size_t pos = rng.next_below(tampered.size());
+    tampered[pos] ^= static_cast<Byte>(1u << rng.next_below(8));
+    EXPECT_EQ(crypto::open_sealed(key, tampered, to_bytes("aad")).code(),
+              ErrorCode::kIntegrity)
+        << "undetected flip at " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SealProperty,
+                         ::testing::Values(0, 1, 15, 16, 17, 1000, 65536));
+
+// ----------------------------------------------------- Schnorr under noise
+
+class SchnorrProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(SchnorrProperty, OnlyTheExactMessageVerifies) {
+  crypto::Drbg drbg(to_bytes("schnorr-prop"), to_bytes(std::to_string(GetParam())));
+  const crypto::KeyPair kp = crypto::generate_keypair(drbg);
+  const Bytes msg = drbg.generate(100);
+  const Bytes sig = crypto::sign(kp, msg);
+  ASSERT_TRUE(crypto::verify(kp.public_key, msg, sig));
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 6; ++i) {
+    Bytes other = msg;
+    other[rng.next_below(other.size())] ^= static_cast<Byte>(1u << rng.next_below(8));
+    EXPECT_FALSE(crypto::verify(kp.public_key, other, sig));
+    Bytes bad_sig = sig;
+    bad_sig[rng.next_below(bad_sig.size())] ^= static_cast<Byte>(1u << rng.next_below(8));
+    EXPECT_FALSE(crypto::verify(kp.public_key, msg, bad_sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrProperty, ::testing::Range(1, 5));
+
+// ------------------------------------------------- Scalar field properties
+
+class ScalarProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(ScalarProperty, FieldAxiomsModN) {
+  crypto::Drbg drbg(to_bytes("scalar-prop"), to_bytes(std::to_string(GetParam())));
+  const auto a = crypto::scalar_from_bytes(drbg.generate(32));
+  const auto b = crypto::scalar_from_bytes(drbg.generate(32));
+  const auto c = crypto::scalar_from_bytes(drbg.generate(32));
+  using namespace crypto;
+  // Commutativity, associativity, distributivity.
+  EXPECT_EQ(scalar_add(a, b), scalar_add(b, a));
+  EXPECT_EQ(scalar_mul_mod_n(a, b), scalar_mul_mod_n(b, a));
+  EXPECT_EQ(scalar_add(scalar_add(a, b), c), scalar_add(a, scalar_add(b, c)));
+  EXPECT_EQ(scalar_mul_mod_n(a, scalar_add(b, c)),
+            scalar_add(scalar_mul_mod_n(a, b), scalar_mul_mod_n(a, c)));
+  // Inverses.
+  EXPECT_TRUE(scalar_add(a, scalar_sub(Uint256(0), a)).is_zero());
+  if (!a.is_zero()) {
+    EXPECT_EQ(scalar_mul_mod_n(a, scalar_inv(a)), Uint256(1));
+  }
+  // The group law respects scalar arithmetic: (a+b)G == aG + bG.
+  EXPECT_EQ(scalar_mul_base(scalar_add(a, b)),
+            point_add(scalar_mul_base(a), scalar_mul_base(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalarProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rockfs

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/clock.h"
+#include "sim/network.h"
+
+namespace rockfs::sim {
+namespace {
+
+TEST(SimClock, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_us(), 0);
+  clock.advance_us(1500);
+  EXPECT_EQ(clock.now_us(), 1500);
+  clock.advance_seconds(2.0);
+  EXPECT_EQ(clock.now_us(), 1500 + 2'000'000);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 2.0015);
+}
+
+TEST(SimClock, NegativeAdvanceThrows) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance_us(-1), std::invalid_argument);
+}
+
+TEST(SimStopwatch, MeasuresElapsed) {
+  auto clock = std::make_shared<SimClock>();
+  SimStopwatch watch(clock);
+  clock->advance_us(123456);
+  EXPECT_EQ(watch.elapsed_us(), 123456);
+  EXPECT_DOUBLE_EQ(watch.elapsed_seconds(), 0.123456);
+}
+
+TEST(NetworkModel, UploadScalesWithBytes) {
+  auto clock = std::make_shared<SimClock>();
+  LinkProfile p = LinkProfile::s3_like("s3");
+  p.jitter_frac = 0.0;  // deterministic for exact expectations
+  NetworkModel net(clock, p, /*jitter_seed=*/1);
+  const auto small = net.upload_delay_us(1'000);
+  const auto large = net.upload_delay_us(10'000'000);
+  EXPECT_GT(large, small);
+  // 10MB at 2.6 MB/s ~ 3.8s; check within a factor.
+  EXPECT_GT(large, 3'000'000);
+  EXPECT_LT(large, 5'000'000);
+}
+
+TEST(NetworkModel, DownloadFasterThanUploadForLargePayloads) {
+  auto clock = std::make_shared<SimClock>();
+  LinkProfile p = LinkProfile::s3_like("s3");
+  p.jitter_frac = 0.0;
+  NetworkModel net(clock, p, 1);
+  EXPECT_LT(net.download_delay_us(10'000'000), net.upload_delay_us(10'000'000));
+}
+
+TEST(NetworkModel, ChargeAdvancesClock) {
+  auto clock = std::make_shared<SimClock>();
+  LinkProfile p = LinkProfile::coordination_like("coord");
+  NetworkModel net(clock, p, 7);
+  const auto d = net.charge_rpc(200, 400);
+  EXPECT_EQ(clock->now_us(), d);
+  EXPECT_GT(d, 0);
+}
+
+TEST(NetworkModel, JitterIsDeterministicPerSeed) {
+  auto c1 = std::make_shared<SimClock>();
+  auto c2 = std::make_shared<SimClock>();
+  NetworkModel a(c1, LinkProfile::s3_like("s3"), 99);
+  NetworkModel b(c2, LinkProfile::s3_like("s3"), 99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.upload_delay_us(1 << 20), b.upload_delay_us(1 << 20));
+  }
+}
+
+TEST(NetworkModel, RpcIncludesRtt) {
+  auto clock = std::make_shared<SimClock>();
+  LinkProfile p = LinkProfile::local_like("local");
+  p.jitter_frac = 0.0;
+  NetworkModel net(clock, p, 3);
+  EXPECT_GE(net.rpc_delay_us(0, 0), p.rtt_us);
+}
+
+TEST(TrafficMeter, Accounting) {
+  TrafficMeter meter;
+  meter.add_upload(100);
+  meter.add_upload(50);
+  meter.add_download(7);
+  EXPECT_EQ(meter.uploaded_bytes(), 150u);
+  EXPECT_EQ(meter.downloaded_bytes(), 7u);
+  meter.reset();
+  EXPECT_EQ(meter.uploaded_bytes(), 0u);
+  EXPECT_EQ(meter.downloaded_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rockfs::sim
