@@ -1,7 +1,10 @@
-// Fault-tolerance tour of the cloud-of-clouds substrate: provider outages,
+// Fault-tolerance tour of the cloud-of-clouds substrate: scheduled provider
+// outages, transient-error bursts with tail latency (absorbed by retries),
 // Byzantine (lying) clouds, silent share corruption with proactive repair,
 // and Byzantine coordination replicas — everything the DepSky/DepSpace layer
-// absorbs before RockFS's client-side defenses even come into play.
+// absorbs before RockFS's client-side defenses even come into play. Faults
+// are injected through each provider's FaultSchedule (sim/faults.h), driven
+// by the deployment's virtual clock.
 //
 //   $ ./examples/fault_tolerance_tour
 #include <cstdio>
@@ -30,17 +33,33 @@ int main() {
     return ok;
   };
 
-  std::printf("1. provider outage\n");
-  deployment.clouds()[0]->set_available(false);
-  check("cloud-0 down:");
-  deployment.clouds()[0]->set_available(true);
+  std::printf("1. scheduled provider outage (fault schedule, virtual time)\n");
+  {
+    // Cloud 0 goes dark for 30 s of virtual time starting 1 s from now.
+    const auto now = deployment.clock()->now_us();
+    deployment.clouds()[0]->faults().add_outage(now + 1'000'000, now + 31'000'000);
+    deployment.clock()->advance_us(2'000'000);  // into the window
+    check("cloud-0 inside its outage window:");
+    deployment.clock()->advance_us(60'000'000);  // past the window
+    check("after the window closes:");
+  }
 
-  std::printf("\n2. Byzantine provider (returns plausible garbage)\n");
+  std::printf("\n2. transient errors + tail-latency storm (masked by retries)\n");
+  {
+    auto& faults = deployment.clouds()[1]->faults();
+    faults.set_transient_error_prob(0.4);     // ~40%% of requests fail outright
+    faults.set_timeout_prob(0.2);             // ~20%% more hang until timeout
+    faults.set_tail_latency(0.5, 10.0);       // half the survivors run 10x slow
+    check("cloud-1 flaky (retry/backoff engaged):");
+    faults.clear();
+  }
+
+  std::printf("\n3. Byzantine provider (returns plausible garbage)\n");
   deployment.clouds()[1]->set_byzantine(true);
   check("cloud-1 lying:");
   deployment.clouds()[1]->set_byzantine(false);
 
-  std::printf("\n3. silent share corruption + proactive repair\n");
+  std::printf("\n4. silent share corruption + proactive repair\n");
   (void)deployment.clouds()[2]->corrupt_object("files/alice/archive.bin.v1.s2");
   check("cloud-2 share corrupt:");
   auto repaired = alice.fs().storage()->repair(alice.keystore().file_tokens,
@@ -49,14 +68,14 @@ int main() {
               repaired.value->shares_repaired);
   check("after repair (margin restored):");
 
-  std::printf("\n4. Byzantine coordination replica\n");
+  std::printf("\n5. Byzantine coordination replica\n");
   deployment.coordination()->replica(3).set_byzantine(true);
   check("replica-3 lying:");
   alice.write_file("/archive2.bin", to_bytes("new data")).expect("write during fault");
   std::printf("  writes (metadata quorum) also unaffected\n");
   deployment.coordination()->replica(3).set_byzantine(false);
 
-  std::printf("\n5. beyond the fault bound (f+1 = 2 clouds down)\n");
+  std::printf("\n6. beyond the fault bound (f+1 = 2 clouds down)\n");
   deployment.clouds()[0]->set_available(false);
   deployment.clouds()[1]->set_available(false);
   alice.fs().clear_cache();

@@ -6,6 +6,16 @@ namespace rockfs::cloud {
 
 namespace {
 bool is_log_key(const std::string& key) { return key.starts_with(kLogPrefix); }
+
+// A timed-out request stalls the client for several round-trips before it
+// gives up; charge that wait so retry deadlines bite in virtual time.
+constexpr double kTimeoutStallFactor = 10.0;
+
+// Flips bits with the provider's characteristic pattern (Byzantine replies
+// and intermittent read corruption look the same to the client).
+void corrupt_payload(Bytes& data) {
+  for (std::size_t i = 0; i < data.size(); i += 97) data[i] ^= 0xA5;
+}
 }  // namespace
 
 CloudProvider::CloudProvider(std::string name, sim::SimClockPtr clock,
@@ -14,7 +24,8 @@ CloudProvider::CloudProvider(std::string name, sim::SimClockPtr clock,
       clock_(clock),
       net_(std::move(clock), std::move(profile), seed),
       rng_(seed ^ 0x517CC1B727220A95ULL),
-      token_secret_(rng_.next_bytes(32)) {}
+      token_secret_(rng_.next_bytes(32)),
+      faults_(std::make_shared<sim::FaultSchedule>(clock_, seed ^ 0xD1B54A32D192ED03ULL)) {}
 
 AccessToken CloudProvider::issue_token(const std::string& user_id, const std::string& fs_id,
                                        TokenScope scope, std::int64_t validity_us) {
@@ -87,12 +98,86 @@ Status CloudProvider::authorize(const AccessToken& token, const std::string& key
   return {ErrorCode::kInternal, "unreachable"};
 }
 
+CloudProvider::OpGate CloudProvider::enter_op(const AccessToken& token,
+                                              const std::string& key, OpKind kind) {
+  OpGate gate;
+  sim::FaultOp fault_op = sim::FaultOp::kControl;
+  if (kind == OpKind::kGet || kind == OpKind::kRestore) fault_op = sim::FaultOp::kRead;
+  if (kind == OpKind::kPut) fault_op = sim::FaultOp::kWrite;
+  gate.actions = faults_->on_operation(fault_op);
+
+  // A faulted operation that is not a partial write fails before any
+  // server-side check runs (the request never reached the service).
+  const bool faulted = gate.actions.fail != ErrorCode::kOk;
+  if (faulted && !gate.actions.truncate_payload) {
+    gate.status = Status{gate.actions.fail, name_ + ": " + gate.actions.reason};
+    return gate;
+  }
+
+  switch (kind) {
+    case OpKind::kGet:
+      gate.status = authorize(token, key, /*write=*/false, /*remove=*/false);
+      break;
+    case OpKind::kPut:
+      gate.status = authorize(token, key, /*write=*/true, /*remove=*/false);
+      break;
+    case OpKind::kRemove:
+      gate.status = authorize(token, key, /*write=*/true, /*remove=*/true);
+      break;
+    case OpKind::kList:
+      gate.status = check_token(token);
+      break;
+    case OpKind::kArchive:
+    case OpKind::kRestore:
+      gate.status = check_token(token);
+      if (gate.status.ok() && token.scope != TokenScope::kAdmin) {
+        gate.status = Status{ErrorCode::kPermissionDenied,
+                             name_ + (kind == OpKind::kArchive
+                                          ? ": archival is admin-only"
+                                          : ": cold reads are admin-only")};
+      }
+      break;
+  }
+  if (!gate.status.ok()) {
+    // Authorization failed: nothing was stored, so a concurrent partial
+    // write fault leaves no trace.
+    gate.actions.truncate_payload = false;
+    return gate;
+  }
+  if (faulted) {
+    gate.status = Status{gate.actions.fail, name_ + ": " + gate.actions.reason};
+  }
+  return gate;
+}
+
+sim::SimClock::Micros CloudProvider::charge(sim::SimClock::Micros base_us,
+                                            const sim::FaultActions& actions) const {
+  double factor = actions.latency_factor;
+  if (actions.fail == ErrorCode::kTimeout) factor *= kTimeoutStallFactor;
+  return static_cast<sim::SimClock::Micros>(static_cast<double>(base_us) * factor);
+}
+
 sim::Timed<Status> CloudProvider::put(const AccessToken& token, const std::string& key,
                                       BytesView data) {
-  const auto delay = net_.upload_delay_us(data.size());
-  if (!available_) return {{ErrorCode::kUnavailable, name_ + ": provider down"}, delay};
-  if (auto s = authorize(token, key, /*write=*/true, /*remove=*/false); !s.ok()) {
-    return {std::move(s), net_.rpc_delay_us(64, 64)};
+  auto gate = enter_op(token, key, OpKind::kPut);
+  const auto delay = charge(net_.upload_delay_us(data.size()), gate.actions);
+  if (!gate.status.ok()) {
+    if (gate.actions.truncate_payload && !is_log_key(key)) {
+      // The connection dropped mid-upload: a truncated object replaces the
+      // key (digest checks will catch it). Log objects are exempt — the
+      // append-only namespace offers atomic create, or a half-written entry
+      // could never be repaired.
+      const std::size_t kept = data.size() / 2;
+      traffic_.add_upload(kept);
+      Object obj;
+      obj.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(kept));
+      obj.modified_us = clock_->now_us();
+      obj.writer = token.user_id;
+      objects_[key] = std::move(obj);
+      return {std::move(gate.status), delay};
+    }
+    const bool faulted = gate.actions.fail != ErrorCode::kOk;
+    return {std::move(gate.status), faulted ? delay : net_.rpc_delay_us(64, 64)};
   }
   traffic_.add_upload(data.size());
   Object obj;
@@ -105,12 +190,12 @@ sim::Timed<Status> CloudProvider::put(const AccessToken& token, const std::strin
 
 sim::Timed<Result<Bytes>> CloudProvider::get(const AccessToken& token,
                                              const std::string& key) {
-  if (!available_) {
-    return {Error{ErrorCode::kUnavailable, name_ + ": provider down"},
-            net_.rpc_delay_us(64, 0)};
-  }
-  if (auto s = authorize(token, key, /*write=*/false, /*remove=*/false); !s.ok()) {
-    return {Error{s.error()}, net_.rpc_delay_us(64, 64)};
+  auto gate = enter_op(token, key, OpKind::kGet);
+  if (!gate.status.ok()) {
+    const bool faulted = gate.actions.fail != ErrorCode::kOk;
+    return {Error{gate.status.error()},
+            faulted ? charge(net_.rpc_delay_us(64, 0), gate.actions)
+                    : net_.rpc_delay_us(64, 64)};
   }
   const auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -119,19 +204,18 @@ sim::Timed<Result<Bytes>> CloudProvider::get(const AccessToken& token,
   }
   traffic_.add_download(it->second.data.size());
   Bytes data = it->second.data;
-  if (byzantine_) {
-    // A lying cloud returns plausible-looking garbage.
-    for (std::size_t i = 0; i < data.size(); i += 97) data[i] ^= 0xA5;
+  if (gate.actions.corrupt_payload) {
+    // A lying or flaky cloud returns plausible-looking garbage.
+    corrupt_payload(data);
   }
-  return {std::move(data), net_.download_delay_us(it->second.data.size())};
+  return {std::move(data),
+          charge(net_.download_delay_us(it->second.data.size()), gate.actions)};
 }
 
 sim::Timed<Status> CloudProvider::remove(const AccessToken& token, const std::string& key) {
-  const auto delay = net_.rpc_delay_us(64, 64);
-  if (!available_) return {{ErrorCode::kUnavailable, name_ + ": provider down"}, delay};
-  if (auto s = authorize(token, key, /*write=*/true, /*remove=*/true); !s.ok()) {
-    return {std::move(s), delay};
-  }
+  auto gate = enter_op(token, key, OpKind::kRemove);
+  const auto delay = charge(net_.rpc_delay_us(64, 64), gate.actions);
+  if (!gate.status.ok()) return {std::move(gate.status), delay};
   if (objects_.erase(key) == 0) {
     return {{ErrorCode::kNotFound, name_ + ": no such object: " + key}, delay};
   }
@@ -140,12 +224,12 @@ sim::Timed<Status> CloudProvider::remove(const AccessToken& token, const std::st
 
 sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list(const AccessToken& token,
                                                                 const std::string& prefix) {
-  if (!available_) {
-    return {Error{ErrorCode::kUnavailable, name_ + ": provider down"},
-            net_.rpc_delay_us(64, 0)};
-  }
-  if (auto s = check_token(token); !s.ok()) {
-    return {Error{s.error()}, net_.rpc_delay_us(64, 64)};
+  auto gate = enter_op(token, prefix, OpKind::kList);
+  if (!gate.status.ok()) {
+    const bool faulted = gate.actions.fail != ErrorCode::kOk;
+    return {Error{gate.status.error()},
+            faulted ? charge(net_.rpc_delay_us(64, 0), gate.actions)
+                    : net_.rpc_delay_us(64, 64)};
   }
   // Listing follows the same namespace rule as reads.
   if (token.scope == TokenScope::kFiles && is_log_key(prefix)) {
@@ -161,7 +245,7 @@ sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list(const AccessToke
                    it->second.writer});
     response_bytes += it->first.size() + 32;
   }
-  return {std::move(out), net_.rpc_delay_us(64, response_bytes)};
+  return {std::move(out), charge(net_.rpc_delay_us(64, response_bytes), gate.actions)};
 }
 
 std::uint64_t CloudProvider::stored_bytes() const noexcept {
@@ -180,12 +264,9 @@ Status CloudProvider::corrupt_object(const std::string& key) {
 
 sim::Timed<Status> CloudProvider::archive(const AccessToken& token,
                                           const std::string& key) {
-  const auto delay = net_.rpc_delay_us(128, 64);
-  if (!available_) return {{ErrorCode::kUnavailable, name_ + ": provider down"}, delay};
-  if (auto s = check_token(token); !s.ok()) return {std::move(s), delay};
-  if (token.scope != TokenScope::kAdmin) {
-    return {{ErrorCode::kPermissionDenied, name_ + ": archival is admin-only"}, delay};
-  }
+  auto gate = enter_op(token, key, OpKind::kArchive);
+  const auto delay = charge(net_.rpc_delay_us(128, 64), gate.actions);
+  if (!gate.status.ok()) return {std::move(gate.status), delay};
   const auto it = objects_.find(key);
   if (it == objects_.end()) {
     return {{ErrorCode::kNotFound, name_ + ": no such object: " + key}, delay};
@@ -199,16 +280,12 @@ sim::Timed<Result<Bytes>> CloudProvider::restore_from_cold(const AccessToken& to
                                                            const std::string& key) {
   // Glacier-class retrieval: a large fixed delay plus a slow transfer.
   constexpr sim::SimClock::Micros kColdRetrievalUs = 4L * 3600 * 1'000'000;  // 4h
-  if (!available_) {
-    return {Error{ErrorCode::kUnavailable, name_ + ": provider down"},
-            net_.rpc_delay_us(64, 0)};
-  }
-  if (auto s = check_token(token); !s.ok()) {
-    return {Error{s.error()}, net_.rpc_delay_us(64, 64)};
-  }
-  if (token.scope != TokenScope::kAdmin) {
-    return {Error{ErrorCode::kPermissionDenied, name_ + ": cold reads are admin-only"},
-            net_.rpc_delay_us(64, 64)};
+  auto gate = enter_op(token, key, OpKind::kRestore);
+  if (!gate.status.ok()) {
+    const bool faulted = gate.actions.fail != ErrorCode::kOk;
+    return {Error{gate.status.error()},
+            faulted ? charge(net_.rpc_delay_us(64, 0), gate.actions)
+                    : net_.rpc_delay_us(64, 64)};
   }
   const auto it = cold_.find(key);
   if (it == cold_.end()) {
@@ -216,8 +293,11 @@ sim::Timed<Result<Bytes>> CloudProvider::restore_from_cold(const AccessToken& to
             net_.rpc_delay_us(64, 64)};
   }
   traffic_.add_download(it->second.data.size());
-  return {Bytes(it->second.data),
-          kColdRetrievalUs + net_.download_delay_us(it->second.data.size())};
+  Bytes data = it->second.data;
+  if (gate.actions.corrupt_payload) corrupt_payload(data);
+  return {std::move(data),
+          charge(kColdRetrievalUs + net_.download_delay_us(it->second.data.size()),
+                 gate.actions)};
 }
 
 std::uint64_t CloudProvider::cold_bytes() const noexcept {

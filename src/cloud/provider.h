@@ -21,6 +21,7 @@
 #include "cloud/token.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/timed.h"
 
@@ -70,11 +71,18 @@ class CloudProvider {
 
   // ---- fault injection ----
 
+  /// Time-varying fault schedule consulted on every operation: outage
+  /// windows, transient errors, timeouts, tail-latency storms, partial
+  /// writes and read corruption (sim/faults.h). The legacy flags below are
+  /// one-line wrappers over its permanent entries.
+  sim::FaultSchedule& faults() noexcept { return *faults_; }
+  const sim::FaultSchedule& faults() const noexcept { return *faults_; }
+
   /// While unavailable every operation fails with kUnavailable.
-  void set_available(bool available) noexcept { available_ = available; }
-  bool available() const noexcept { return available_; }
+  void set_available(bool available) noexcept { faults_->set_down(!available); }
+  bool available() const noexcept { return !faults_->down(); }
   /// While Byzantine, get() returns corrupted payloads (but claims success).
-  void set_byzantine(bool byzantine) noexcept { byzantine_ = byzantine; }
+  void set_byzantine(bool byzantine) noexcept { faults_->set_byzantine(byzantine); }
   /// Flips bits of a stored object in place (silent data corruption).
   Status corrupt_object(const std::string& key);
   /// Deletes an object bypassing access control (models provider-side loss).
@@ -95,6 +103,8 @@ class CloudProvider {
   bool archived(const std::string& key) const { return cold_.contains(key); }
   std::uint64_t cold_bytes() const noexcept;
 
+  const sim::SimClockPtr& clock() const noexcept { return clock_; }
+
  private:
   struct Object {
     Bytes data;
@@ -106,6 +116,24 @@ class CloudProvider {
                    bool remove) const;
   Status check_token(const AccessToken& token) const;
 
+  /// The operation classes the checked-entry helper distinguishes.
+  enum class OpKind { kGet, kPut, kRemove, kList, kArchive, kRestore };
+
+  /// Shared preamble of every object operation: consults the fault schedule,
+  /// then runs the token/authorization checks appropriate for `kind`. A
+  /// non-ok status means the operation must fail with it; `actions` carries
+  /// the fault side-effects (latency factor, corruption, truncation).
+  struct OpGate {
+    Status status;
+    sim::FaultActions actions;
+  };
+  OpGate enter_op(const AccessToken& token, const std::string& key, OpKind kind);
+
+  /// Applies a fault-schedule latency factor (and the timeout stall) to a
+  /// base delay.
+  sim::SimClock::Micros charge(sim::SimClock::Micros base_us,
+                               const sim::FaultActions& actions) const;
+
   std::string name_;
   sim::SimClockPtr clock_;
   sim::NetworkModel net_;
@@ -115,8 +143,7 @@ class CloudProvider {
   std::map<std::string, Object> cold_;
   std::set<std::uint64_t> revoked_nonces_;
   sim::TrafficMeter traffic_;
-  bool available_ = true;
-  bool byzantine_ = false;
+  sim::FaultSchedulePtr faults_;
 };
 
 using CloudProviderPtr = std::shared_ptr<CloudProvider>;

@@ -14,8 +14,13 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kExpired: return "expired";
     case ErrorCode::kCorrupted: return "corrupted";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown";
+}
+
+bool is_retryable(ErrorCode c) {
+  return c == ErrorCode::kUnavailable || c == ErrorCode::kTimeout;
 }
 
 }  // namespace rockfs

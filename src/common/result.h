@@ -22,10 +22,16 @@ enum class ErrorCode {
   kExpired,           // token or session key past its validity
   kCorrupted,         // stored data failed to decode
   kInternal,
+  kTimeout,           // operation exceeded its (simulated) deadline
 };
 
 /// Human-readable name of an ErrorCode ("not_found", "integrity", ...).
 const char* error_code_name(ErrorCode c);
+
+/// Whether an error is worth retrying as-is: transient transport failures
+/// (kUnavailable, kTimeout) are; semantic failures (permission, integrity,
+/// not-found, ...) would fail identically on every attempt and are not.
+bool is_retryable(ErrorCode c);
 
 struct Error {
   ErrorCode code = ErrorCode::kInternal;

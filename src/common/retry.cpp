@@ -1,0 +1,16 @@
+#include "common/retry.h"
+
+namespace rockfs {
+
+sim::SimClock::Micros Backoff::next_us() {
+  const auto lo = policy_.base_backoff_us;
+  const auto hi = prev_us_ * 3;
+  const auto span = hi > lo ? static_cast<std::uint64_t>(hi - lo) : 0;
+  auto sleep = lo + static_cast<sim::SimClock::Micros>(
+                        span == 0 ? 0 : rng_.next_below(span + 1));
+  if (sleep > policy_.max_backoff_us) sleep = policy_.max_backoff_us;
+  prev_us_ = sleep;
+  return sleep;
+}
+
+}  // namespace rockfs

@@ -1,0 +1,85 @@
+// Retry with exponential backoff, decorrelated jitter and an overall
+// deadline, operating on sim::Timed results: backoff pauses are charged to
+// the operation's *simulated* delay, never to wall-clock time, so retried
+// operations compose with the rest of the latency model and experiments
+// stay deterministic.
+//
+// Only transport-class errors are retried (see is_retryable in result.h);
+// semantic failures (permission, integrity, not-found, ...) surface
+// immediately.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/timed.h"
+
+namespace rockfs {
+
+struct RetryPolicy {
+  int max_attempts = 4;                            // first try + 3 retries
+  sim::SimClock::Micros base_backoff_us = 50'000;  // first backoff floor
+  sim::SimClock::Micros max_backoff_us = 2'000'000;
+  /// Total simulated-time budget (attempts + backoffs). 0 = unlimited.
+  sim::SimClock::Micros deadline_us = 30'000'000;
+};
+
+/// Decorrelated-jitter backoff generator (AWS architecture-blog variant):
+/// sleep_n = min(cap, uniform(base, 3 * sleep_{n-1})). Deterministic per seed.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed), prev_us_(policy.base_backoff_us) {}
+
+  sim::SimClock::Micros next_us();
+  void reset() { prev_us_ = policy_.base_backoff_us; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  sim::SimClock::Micros prev_us_;
+};
+
+/// Bookkeeping a retry loop reports back to its caller.
+struct RetryOutcome {
+  int attempts = 0;                           // operations actually issued
+  sim::SimClock::Micros backoff_us = 0;       // total simulated pause
+  bool deadline_exhausted = false;            // stopped by the time budget
+};
+
+/// Runs `op` (a callable returning sim::Timed<Status> or sim::Timed<Result<T>>)
+/// until it succeeds, fails non-retryably, exhausts max_attempts, or would
+/// overrun the deadline. The returned Timed carries the *last* attempt's
+/// payload and the summed delay of every attempt plus backoff pauses.
+template <typename Op>
+auto retry_timed(const RetryPolicy& policy, std::uint64_t seed, Op&& op,
+                 RetryOutcome* outcome = nullptr) -> decltype(op()) {
+  Backoff backoff(policy, seed);
+  RetryOutcome local;
+  auto timed = op();
+  local.attempts = 1;
+  sim::SimClock::Micros total = timed.delay;
+  while (!timed.value.ok() && is_retryable(timed.value.code()) &&
+         local.attempts < policy.max_attempts) {
+    const auto pause = backoff.next_us();
+    if (policy.deadline_us > 0 && total + pause >= policy.deadline_us) {
+      local.deadline_exhausted = true;
+      break;
+    }
+    total += pause;
+    local.backoff_us += pause;
+    timed = op();
+    ++local.attempts;
+    total += timed.delay;
+  }
+  if (policy.deadline_us > 0 && total >= policy.deadline_us) {
+    local.deadline_exhausted = true;
+  }
+  timed.delay = total;
+  if (outcome != nullptr) *outcome = local;
+  return timed;
+}
+
+}  // namespace rockfs

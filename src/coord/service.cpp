@@ -55,7 +55,7 @@ CoordinationService::CoordinationService(sim::SimClockPtr clock, std::size_t f,
     auto profile = sim::LinkProfile::coordination_like("depspace-" + std::to_string(i));
     profile.rtt_us += static_cast<std::int64_t>(i) * 700;  // mild heterogeneity
     nets_.push_back(std::make_unique<sim::NetworkModel>(clock_, profile, seed + 31 * i));
-    down_.push_back(false);
+    faults_.push_back(std::make_shared<sim::FaultSchedule>(clock_, seed + 97 * i));
   }
 }
 
@@ -64,10 +64,15 @@ sim::Timed<Result<Bytes>> CoordinationService::execute(Op&& op) {
   // `op(replica)` must return the canonical encoding of the replica's answer.
   std::map<Bytes, std::vector<sim::SimClock::Micros>> votes;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (down_[i]) continue;
+    // A replica in an outage (or hit by a transient fault) contributes no
+    // vote this round; a tail-latency storm slows its reply instead.
+    const auto actions = faults_[i]->on_operation(sim::FaultOp::kControl);
+    if (actions.fail != ErrorCode::kOk) continue;
     Bytes answer = op(*replicas_[i]);
     // Request + small reply; payload sizes are second-order for metadata ops.
-    const auto delay = nets_[i]->rpc_delay_us(128, answer.size() + 64);
+    auto delay = nets_[i]->rpc_delay_us(128, answer.size() + 64);
+    delay = static_cast<sim::SimClock::Micros>(static_cast<double>(delay) *
+                                              actions.latency_factor);
     votes[std::move(answer)].push_back(delay);
   }
   for (auto& [answer, delays] : votes) {

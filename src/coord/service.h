@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "coord/replica.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/timed.h"
 
@@ -39,8 +40,13 @@ class CoordinationService {
   // ---- fault injection & administration ----
 
   Replica& replica(std::size_t i) { return *replicas_.at(i); }
-  void set_replica_down(std::size_t i, bool down) { down_.at(i) = down; }
-  bool replica_down(std::size_t i) const { return down_.at(i); }
+  /// Per-replica time-varying fault schedule, consulted on every operation
+  /// (outages and transient errors drop the replica's vote; tail latency
+  /// slows its reply). The down flag below is a wrapper over its permanent
+  /// entry.
+  sim::FaultSchedule& replica_faults(std::size_t i) { return *faults_.at(i); }
+  void set_replica_down(std::size_t i, bool down) { faults_.at(i)->set_down(down); }
+  bool replica_down(std::size_t i) const { return faults_.at(i)->down(); }
 
   /// Durable checkpoint of one replica (the [11] enhancement).
   Bytes checkpoint_replica(std::size_t i) const { return replicas_.at(i)->checkpoint(); }
@@ -62,7 +68,7 @@ class CoordinationService {
   std::size_t f_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<sim::NetworkModel>> nets_;
-  std::vector<bool> down_;
+  std::vector<sim::FaultSchedulePtr> faults_;
 };
 
 }  // namespace rockfs::coord

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "crypto/aes.h"
 #include "crypto/sha256.h"
@@ -43,14 +44,123 @@ Result<CaBlob> decode_ca_blob(BytesView blob) {
 }  // namespace
 
 DepSkyClient::DepSkyClient(DepSkyConfig config, BytesView drbg_seed)
-    : config_(std::move(config)), drbg_(drbg_seed, to_bytes("depsky-client")) {
+    : config_(std::move(config)),
+      drbg_(drbg_seed, to_bytes("depsky-client")),
+      // Fixed seed: the jitter stream must not consume from drbg_ (that would
+      // shift the AES key schedule) and need not vary between clients — the
+      // per-cloud providers already decorrelate timing.
+      backoff_rng_(0x5DEECE66DULL) {
   if (config_.clouds.size() < 3 * config_.f + 1) {
     throw std::invalid_argument("DepSkyClient: need n >= 3f+1 clouds");
+  }
+  health_.reserve(config_.clouds.size());
+  for (const auto& cloud : config_.clouds) {
+    health_.emplace_back(cloud->clock(), config_.health);
   }
   const Bytes own = config_.writer.public_bytes();
   bool has_own = false;
   for (const Bytes& w : config_.trusted_writers) has_own = has_own || ct_equal(w, own);
   if (!has_own) config_.trusted_writers.push_back(own);
+}
+
+std::vector<std::size_t> DepSkyClient::contact_set() {
+  std::vector<std::size_t> allowed;
+  std::vector<std::size_t> open;
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (health_[i].allow_request()) {
+      allowed.push_back(i);
+    } else {
+      open.push_back(i);
+    }
+  }
+  // The breaker is only an optimization: if skipping open clouds would make
+  // an (n-f) quorum unreachable, conscript them as forced probes so the
+  // breaker can never cause a failure that would not otherwise happen.
+  const std::size_t quorum = n() - f();
+  for (std::size_t j = 0; allowed.size() < quorum && j < open.size(); ++j) {
+    allowed.push_back(open[j]);
+    ++stats_.forced_probes;
+  }
+  stats_.breaker_skips += n() - allowed.size();
+  std::sort(allowed.begin(), allowed.end());
+  return allowed;
+}
+
+void DepSkyClient::record_outcome(std::size_t cloud, const RetryOutcome& outcome,
+                                  ErrorCode final) {
+  stats_.attempts += static_cast<std::uint64_t>(outcome.attempts);
+  stats_.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+  if (outcome.deadline_exhausted) ++stats_.deadline_hits;
+  // Only transport-class failures count against the breaker: kNotFound,
+  // kPermissionDenied etc. mean the cloud answered and is healthy.
+  if (final == ErrorCode::kUnavailable || final == ErrorCode::kTimeout) {
+    health_[cloud].record_failure();
+  } else {
+    health_[cloud].record_success();
+  }
+}
+
+sim::Timed<Result<Bytes>> DepSkyClient::guarded_get(std::size_t i,
+                                                    const cloud::AccessToken& token,
+                                                    const std::string& key) {
+  RetryOutcome outcome;
+  auto timed = retry_timed(
+      config_.retry, backoff_rng_.next_u64(),
+      [&] { return config_.clouds[i]->get(token, key); }, &outcome);
+  record_outcome(i, outcome, timed.value.code());
+  return timed;
+}
+
+sim::Timed<Status> DepSkyClient::guarded_put(std::size_t i, const cloud::AccessToken& token,
+                                             const std::string& key, BytesView data) {
+  RetryOutcome outcome;
+  auto timed = retry_timed(
+      config_.retry, backoff_rng_.next_u64(),
+      [&] { return config_.clouds[i]->put(token, key, data); }, &outcome);
+  record_outcome(i, outcome, timed.value.code());
+  return timed;
+}
+
+DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
+    const std::vector<cloud::AccessToken>& tokens, const std::vector<std::string>& keys,
+    const std::vector<BytesView>& blobs) {
+  QuorumPutResult result;
+  std::vector<sim::SimClock::Micros> delays;
+  std::vector<std::pair<std::size_t, ErrorCode>> failures;
+  const auto push = [&](std::size_t i, sim::Timed<Status>&& put) {
+    delays.push_back(put.delay);
+    if (put.value.ok()) {
+      ++result.acks;
+    } else {
+      failures.emplace_back(i, put.value.code());
+    }
+  };
+
+  const auto contacted = contact_set();
+  for (const std::size_t i : contacted) {
+    push(i, guarded_put(i, tokens[i], keys[i], blobs[i]));
+  }
+  // Degraded fallback round over breaker-skipped clouds if the quorum is
+  // still short (their completion times start after round one resolves).
+  if (result.acks < n() - f() && contacted.size() < n()) {
+    const auto round1 = sim::parallel_delay(delays);
+    for (std::size_t i = 0; i < n(); ++i) {
+      if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
+      auto put = guarded_put(i, tokens[i], keys[i], blobs[i]);
+      put.delay += round1;
+      ++stats_.forced_probes;
+      push(i, std::move(put));
+    }
+  }
+
+  result.delay = delays.size() >= n() - f() ? sim::quorum_delay(delays, n() - f())
+                                            : sim::parallel_delay(delays);
+  std::sort(failures.begin(), failures.end());
+  for (const auto& [i, code] : failures) {
+    if (!result.failure_detail.empty()) result.failure_detail += ", ";
+    result.failure_detail += "cloud-" + std::to_string(i) + "=" + error_code_name(code);
+  }
+  return result;
 }
 
 bool DepSkyClient::trusted(const UnitMetadata& meta) const {
@@ -69,14 +179,13 @@ std::string DepSkyClient::share_key(const std::string& unit, std::uint64_t versi
 
 DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
     const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
-  // Query all clouds in parallel; a quorum of n-f responses (found or
-  // definitive not-found) settles the answer.
+  // Query every contactable cloud in parallel; a quorum of n-f responses
+  // (found or definitive not-found) settles the answer.
   std::vector<sim::SimClock::Micros> delays;
   UnitMetadata best;
   bool found = false;
   std::size_t responses = 0;
-  for (std::size_t i = 0; i < n(); ++i) {
-    auto got = config_.clouds[i]->get(tokens[i], metadata_key(unit));
+  const auto ingest = [&](sim::Timed<Result<Bytes>>&& got) {
     delays.push_back(got.delay);
     if (got.value.ok()) {
       ++responses;
@@ -91,8 +200,28 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
     } else if (got.value.code() == ErrorCode::kNotFound) {
       ++responses;
     }
+  };
+
+  const auto contacted = contact_set();
+  for (const std::size_t i : contacted) {
+    ingest(guarded_get(i, tokens[i], metadata_key(unit)));
   }
-  const auto delay = sim::quorum_delay(delays, n() - f());
+  // Degraded fallback: if the first round missed the quorum and the breaker
+  // held clouds back, try those too (sequenced after round one completes).
+  if (responses < n() - f() && contacted.size() < n()) {
+    const auto round1 = sim::parallel_delay(delays);
+    for (std::size_t i = 0; i < n(); ++i) {
+      if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
+      auto got = guarded_get(i, tokens[i], metadata_key(unit));
+      got.delay += round1;
+      ++stats_.forced_probes;
+      ingest(std::move(got));
+    }
+  }
+
+  const auto delay = delays.size() >= n() - f()
+                         ? sim::quorum_delay(delays, n() - f())
+                         : sim::parallel_delay(delays);
   if (responses < n() - f()) {
     return {Error{ErrorCode::kUnavailable, "depsky: metadata quorum unavailable"}, delay};
   }
@@ -162,32 +291,37 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   meta.sign(config_.writer);
   const Bytes meta_bytes = meta.serialize();
 
-  // Phase 4: push shares to all clouds in parallel; (n-f) acks complete it.
-  std::vector<sim::SimClock::Micros> put_delays;
-  std::size_t acks = 0;
+  // Phase 4: push shares to all contactable clouds in parallel (with
+  // per-cloud retry); (n-f) acks complete it.
+  std::vector<std::string> share_keys;
+  std::vector<BytesView> share_views;
   for (std::size_t i = 0; i < n(); ++i) {
-    auto put = config_.clouds[i]->put(tokens[i], share_key(unit, version, i), blobs[i]);
-    put_delays.push_back(put.delay);
-    if (put.value.ok()) ++acks;
+    share_keys.push_back(share_key(unit, version, i));
+    share_views.emplace_back(blobs[i]);
   }
-  total_delay += sim::quorum_delay(put_delays, n() - f());
-  if (acks < n() - f()) {
-    return {Status{ErrorCode::kUnavailable, "depsky write: share quorum unavailable"},
+  auto shares_put = quorum_put(tokens, share_keys, share_views);
+  total_delay += shares_put.delay;
+  if (shares_put.acks < n() - f()) {
+    return {Status{ErrorCode::kUnavailable,
+                   "depsky write: share quorum unavailable (" +
+                       std::to_string(shares_put.acks) + "/" +
+                       std::to_string(n() - f()) + " acks; " +
+                       shares_put.failure_detail + ")"},
             total_delay};
   }
 
   // Phase 5: metadata last, so readers never see a version whose shares are
   // not yet stable (the paper's §2.5 ordering argument).
-  std::vector<sim::SimClock::Micros> meta_delays;
-  std::size_t meta_acks = 0;
-  for (std::size_t i = 0; i < n(); ++i) {
-    auto put = config_.clouds[i]->put(tokens[i], metadata_key(unit), meta_bytes);
-    meta_delays.push_back(put.delay);
-    if (put.value.ok()) ++meta_acks;
-  }
-  total_delay += sim::quorum_delay(meta_delays, n() - f());
-  if (meta_acks < n() - f()) {
-    return {Status{ErrorCode::kUnavailable, "depsky write: metadata quorum unavailable"},
+  const std::vector<std::string> meta_keys(n(), metadata_key(unit));
+  const std::vector<BytesView> meta_views(n(), BytesView(meta_bytes));
+  auto meta_put = quorum_put(tokens, meta_keys, meta_views);
+  total_delay += meta_put.delay;
+  if (meta_put.acks < n() - f()) {
+    return {Status{ErrorCode::kUnavailable,
+                   "depsky write: metadata quorum unavailable (" +
+                       std::to_string(meta_put.acks) + "/" +
+                       std::to_string(n() - f()) + " acks; " +
+                       meta_put.failure_detail + ")"},
             total_delay};
   }
 
@@ -225,25 +359,39 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
   if (!head.metadata.ok()) return {Error{head.metadata.error()}, total_delay};
   const UnitMetadata& meta = *head.metadata;
 
-  // Fetch shares in parallel, keep digest-valid ones.
+  // Fetch shares in parallel from healthy clouds (per-cloud retry), keep
+  // digest-valid ones.
   struct ValidShare {
     std::size_t cloud;
     Bytes blob;
     sim::SimClock::Micros delay;
   };
+  const std::size_t needed = config_.protocol == Protocol::kA ? 1 : k();
   std::vector<ValidShare> valid;
   std::vector<sim::SimClock::Micros> all_delays;
-  for (std::size_t i = 0; i < n(); ++i) {
+  const auto fetch_share = [&](std::size_t i, sim::SimClock::Micros offset) {
     const std::string key = share_key(unit, meta.version, i);
     auto got = cold ? config_.clouds[i]->restore_from_cold(tokens[i], key)
-                    : config_.clouds[i]->get(tokens[i], key);
+                    : guarded_get(i, tokens[i], key);
+    got.delay += offset;
     all_delays.push_back(got.delay);
-    if (!got.value.ok()) continue;
-    if (!ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) continue;
+    if (!got.value.ok()) return;
+    if (!ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) return;
     valid.push_back({i, std::move(*got.value), got.delay});
-  }
+  };
 
-  const std::size_t needed = config_.protocol == Protocol::kA ? 1 : k();
+  const auto contacted = contact_set();
+  for (const std::size_t i : contacted) fetch_share(i, 0);
+  // Degraded fallback: conscript breaker-skipped clouds if the healthy set
+  // could not produce the `needed` valid shares.
+  if (valid.size() < needed && contacted.size() < n()) {
+    const auto round1 = sim::parallel_delay(all_delays);
+    for (std::size_t i = 0; i < n(); ++i) {
+      if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
+      ++stats_.forced_probes;
+      fetch_share(i, round1);
+    }
+  }
   if (valid.size() < needed) {
     return {Error{ErrorCode::kUnavailable, "depsky read: not enough valid shares"},
             total_delay + sim::parallel_delay(all_delays)};

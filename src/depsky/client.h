@@ -20,8 +20,10 @@
 
 #include "cloud/provider.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "crypto/drbg.h"
 #include "crypto/signature.h"
+#include "depsky/health.h"
 #include "depsky/metadata.h"
 #include "sim/timed.h"
 
@@ -36,6 +38,10 @@ struct DepSkyConfig {
   /// is always trusted). RockFS adds the administrator here so that files
   /// re-uploaded during recovery remain readable by the user.
   std::vector<Bytes> trusted_writers;
+  /// Per-cloud retry of transient failures (backoff charged to virtual time).
+  RetryPolicy retry;
+  /// Per-cloud circuit-breaker thresholds (health.h).
+  HealthOptions health;
 };
 
 class DepSkyClient {
@@ -83,6 +89,22 @@ class DepSkyClient {
   sim::Timed<Result<RepairReport>> repair(const std::vector<cloud::AccessToken>& tokens,
                                           const std::string& unit);
 
+  // ---- resilience introspection ----
+
+  /// Circuit breaker guarding cloud i (open clouds are skipped when a
+  /// quorum is reachable without them; see health.h).
+  HealthTracker& cloud_health(std::size_t i) { return health_.at(i); }
+  const HealthTracker& cloud_health(std::size_t i) const { return health_.at(i); }
+
+  struct ResilienceStats {
+    std::uint64_t attempts = 0;        // per-cloud requests actually issued
+    std::uint64_t retries = 0;         // attempts beyond each first try
+    std::uint64_t breaker_skips = 0;   // requests not sent (breaker open)
+    std::uint64_t forced_probes = 0;   // open clouds conscripted for quorum
+    std::uint64_t deadline_hits = 0;   // retry loops stopped by the deadline
+  };
+  const ResilienceStats& resilience_stats() const noexcept { return stats_; }
+
  private:
   struct MetadataFetch {
     Result<UnitMetadata> metadata;
@@ -102,8 +124,37 @@ class DepSkyClient {
   static std::string share_key(const std::string& unit, std::uint64_t version,
                                std::size_t cloud_index);
 
+  /// Cloud indices to contact for one quorum phase: every cloud whose
+  /// breaker admits requests, padded with open-breaker clouds (forced
+  /// probes) until an (n-f) quorum is reachable. Ascending order.
+  std::vector<std::size_t> contact_set();
+
+  /// get/put against cloud i with per-cloud retry; records the outcome in
+  /// the cloud's circuit breaker and the resilience stats.
+  sim::Timed<Result<Bytes>> guarded_get(std::size_t i, const cloud::AccessToken& token,
+                                        const std::string& key);
+  sim::Timed<Status> guarded_put(std::size_t i, const cloud::AccessToken& token,
+                                 const std::string& key, BytesView data);
+
+  /// One write quorum phase: puts keys[i]/blobs[i] at every contactable
+  /// cloud, falling back to skipped clouds if the first round misses the
+  /// (n-f) quorum. Reports per-cloud failure detail for error messages.
+  struct QuorumPutResult {
+    std::size_t acks = 0;
+    sim::SimClock::Micros delay = 0;  // completion of the quorum (or of all tries)
+    std::string failure_detail;       // "cloud-1=timeout, cloud-2=unavailable"
+  };
+  QuorumPutResult quorum_put(const std::vector<cloud::AccessToken>& tokens,
+                             const std::vector<std::string>& keys,
+                             const std::vector<BytesView>& blobs);
+
+  void record_outcome(std::size_t cloud, const RetryOutcome& outcome, ErrorCode final);
+
   DepSkyConfig config_;
   crypto::Drbg drbg_;
+  std::vector<HealthTracker> health_;  // one breaker per cloud
+  Rng backoff_rng_;                    // jitter stream for retry backoff
+  ResilienceStats stats_;
 };
 
 }  // namespace rockfs::depsky

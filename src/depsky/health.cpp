@@ -1,0 +1,64 @@
+#include "depsky/health.h"
+
+#include <stdexcept>
+
+namespace rockfs::depsky {
+
+HealthTracker::HealthTracker(sim::SimClockPtr clock, HealthOptions options)
+    : clock_(std::move(clock)), options_(options) {
+  if (!clock_) throw std::invalid_argument("HealthTracker: null clock");
+  if (options_.failure_threshold < 1 || options_.half_open_successes < 1) {
+    throw std::invalid_argument("HealthTracker: thresholds must be >= 1");
+  }
+}
+
+HealthTracker::State HealthTracker::state() const {
+  if (state_ == State::kOpen &&
+      clock_->now_us() >= opened_at_us_ + options_.open_cooldown_us) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+void HealthTracker::record_success() {
+  switch (state()) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:      // a successful forced probe counts like a probe
+    case State::kHalfOpen:
+      if (++probe_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+      }
+      break;
+  }
+}
+
+void HealthTracker::record_failure() {
+  switch (state()) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_us_ = clock_->now_us();
+        probe_successes_ = 0;
+        ++times_opened_;
+      }
+      break;
+    case State::kHalfOpen:
+      // A failed probe re-opens the breaker for a fresh cooldown.
+      state_ = State::kOpen;
+      opened_at_us_ = clock_->now_us();
+      probe_successes_ = 0;
+      ++times_opened_;
+      break;
+    case State::kOpen:
+      // A failed forced probe pushes the half-open transition back.
+      opened_at_us_ = clock_->now_us();
+      probe_successes_ = 0;
+      break;
+  }
+}
+
+}  // namespace rockfs::depsky

@@ -1,0 +1,60 @@
+// Per-cloud circuit breaker driven by virtual time. Tracks transport-level
+// health of one provider as seen by a DepSky client:
+//
+//   closed     — requests flow; `failure_threshold` consecutive transport
+//                failures trip the breaker
+//   open       — requests are skipped (fail-fast) until `open_cooldown_us`
+//                of virtual time has passed
+//   half-open  — probe requests are admitted; `half_open_successes`
+//                consecutive successes close the breaker, one failure
+//                re-opens it
+//
+// The breaker is an *optimization*: callers that cannot reach a quorum
+// without an open cloud conscript it anyway (a forced probe), so the
+// breaker can never make an operation fail that would otherwise succeed.
+// Successful forced probes count like half-open probes, so a recovered
+// cloud heals the breaker even while it is nominally open.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace rockfs::depsky {
+
+struct HealthOptions {
+  int failure_threshold = 3;
+  sim::SimClock::Micros open_cooldown_us = 5'000'000;  // 5 s of virtual time
+  int half_open_successes = 2;
+};
+
+class HealthTracker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  HealthTracker(sim::SimClockPtr clock, HealthOptions options = {});
+
+  /// Effective state at the current virtual time (open lapses into
+  /// half-open once the cooldown has passed).
+  State state() const;
+  /// Whether a request should be sent (closed or half-open probe).
+  bool allow_request() const { return state() != State::kOpen; }
+
+  void record_success();
+  void record_failure();
+
+  int consecutive_failures() const noexcept { return consecutive_failures_; }
+  /// Number of times the breaker tripped closed -> open (re-opens included).
+  std::uint64_t times_opened() const noexcept { return times_opened_; }
+
+ private:
+  sim::SimClockPtr clock_;
+  HealthOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  sim::SimClock::Micros opened_at_us_ = 0;
+  std::uint64_t times_opened_ = 0;
+};
+
+}  // namespace rockfs::depsky

@@ -1,0 +1,78 @@
+#include "sim/faults.h"
+
+#include <stdexcept>
+
+namespace rockfs::sim {
+
+FaultSchedule::FaultSchedule(SimClockPtr clock, std::uint64_t seed)
+    : clock_(std::move(clock)), rng_(seed ^ 0x9E3779B97F4A7C15ULL) {
+  if (!clock_) throw std::invalid_argument("FaultSchedule: null clock");
+}
+
+void FaultSchedule::add_outage(SimClock::Micros start_us, SimClock::Micros end_us) {
+  if (end_us <= start_us) {
+    throw std::invalid_argument("FaultSchedule: outage window must have end > start");
+  }
+  outages_.push_back({start_us, end_us});
+}
+
+void FaultSchedule::clear() {
+  outages_.clear();
+  transient_error_prob_ = timeout_prob_ = 0.0;
+  tail_latency_prob_ = read_corruption_prob_ = partial_write_prob_ = 0.0;
+  tail_latency_factor_ = 1.0;
+  down_ = byzantine_ = false;
+}
+
+bool FaultSchedule::in_outage(SimClock::Micros now_us) const {
+  for (const auto& w : outages_) {
+    if (now_us >= w.start_us && now_us < w.end_us) return true;
+  }
+  return false;
+}
+
+FaultActions FaultSchedule::on_operation(FaultOp op) {
+  ++decisions_;
+  FaultActions actions;
+  if (down_ || in_outage(clock_->now_us())) {
+    actions.fail = ErrorCode::kUnavailable;
+    actions.reason = down_ ? "provider down" : "outage window";
+    return actions;
+  }
+  // Draw every probabilistic knob unconditionally so the RNG stream consumed
+  // per operation is fixed — toggling one knob never perturbs the draws (and
+  // thus the fault trace) of the others.
+  const double transient_draw = rng_.next_double();
+  const double timeout_draw = rng_.next_double();
+  const double tail_draw = rng_.next_double();
+  const double payload_draw = rng_.next_double();
+  if (tail_latency_prob_ > 0.0 && tail_draw < tail_latency_prob_) {
+    actions.latency_factor = tail_latency_factor_;
+  }
+  if (transient_error_prob_ > 0.0 && transient_draw < transient_error_prob_) {
+    actions.fail = ErrorCode::kUnavailable;
+    actions.reason = "transient error";
+    return actions;
+  }
+  if (timeout_prob_ > 0.0 && timeout_draw < timeout_prob_) {
+    actions.fail = ErrorCode::kTimeout;
+    actions.reason = "request timed out";
+    return actions;
+  }
+  if (op == FaultOp::kRead) {
+    actions.corrupt_payload =
+        byzantine_ ||
+        (read_corruption_prob_ > 0.0 && payload_draw < read_corruption_prob_);
+  } else if (op == FaultOp::kWrite) {
+    if (partial_write_prob_ > 0.0 && payload_draw < partial_write_prob_) {
+      // The connection drops mid-upload: a truncated object lands on the
+      // provider and the client sees a transport failure.
+      actions.truncate_payload = true;
+      actions.fail = ErrorCode::kUnavailable;
+      actions.reason = "connection reset mid-upload";
+    }
+  }
+  return actions;
+}
+
+}  // namespace rockfs::sim

@@ -1,0 +1,106 @@
+// Deterministic, sim-clock-driven fault injection. One FaultSchedule models
+// the time-varying health of a single component (a cloud provider or a
+// coordination replica): scheduled outage windows, transient error bursts,
+// tail-latency storms, partial-write truncation and intermittent read
+// corruption. Components consult the schedule on every operation; decisions
+// are drawn from the schedule's own seeded RNG stream, so a fixed seed and
+// operation sequence reproduce the exact same fault trace on any machine.
+//
+// The legacy static fault flags (CloudProvider::set_available /
+// set_byzantine, CoordinationService::set_replica_down) are one-line
+// wrappers over the schedule's permanent `down` / `byzantine` entries, so
+// all existing call sites keep their behavior.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/clock.h"
+
+namespace rockfs::sim {
+
+/// Operation class a component reports when consulting its schedule.
+enum class FaultOp {
+  kRead,     // data download (eligible for read corruption)
+  kWrite,    // data upload (eligible for partial-write truncation)
+  kControl,  // metadata / RPC round-trips
+};
+
+/// What the faulty environment does to one operation.
+struct FaultActions {
+  /// kOk = the operation proceeds; kUnavailable / kTimeout = it fails.
+  ErrorCode fail = ErrorCode::kOk;
+  const char* reason = "";       // human-readable cause for error messages
+  double latency_factor = 1.0;   // >1 during a tail-latency storm
+  bool corrupt_payload = false;  // reads: bit-flip the returned bytes
+  bool truncate_payload = false; // writes: store only a prefix, then fail
+};
+
+/// Half-open interval of virtual time during which the component is down.
+struct OutageWindow {
+  SimClock::Micros start_us = 0;
+  SimClock::Micros end_us = 0;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule(SimClockPtr clock, std::uint64_t seed);
+
+  // ---- permanent entries (back the legacy static flags) ----
+
+  void set_down(bool down) noexcept { down_ = down; }
+  bool down() const noexcept { return down_; }
+  void set_byzantine(bool byzantine) noexcept { byzantine_ = byzantine; }
+  bool byzantine() const noexcept { return byzantine_; }
+
+  // ---- time-varying knobs ----
+
+  /// Adds an outage window [start_us, end_us) in virtual time.
+  void add_outage(SimClock::Micros start_us, SimClock::Micros end_us);
+  /// Probability that any single operation fails with kUnavailable.
+  void set_transient_error_prob(double p) noexcept { transient_error_prob_ = p; }
+  /// Probability that any single operation fails with kTimeout.
+  void set_timeout_prob(double p) noexcept { timeout_prob_ = p; }
+  /// With probability `prob`, an operation's delay is multiplied by `factor`.
+  void set_tail_latency(double prob, double factor) noexcept {
+    tail_latency_prob_ = prob;
+    tail_latency_factor_ = factor;
+  }
+  /// Probability that a read returns silently corrupted bytes.
+  void set_read_corruption_prob(double p) noexcept { read_corruption_prob_ = p; }
+  /// Probability that a write stores a truncated prefix and reports failure
+  /// (a connection dropped mid-upload).
+  void set_partial_write_prob(double p) noexcept { partial_write_prob_ = p; }
+  /// Forgets every knob and outage window (permanent entries included).
+  void clear();
+
+  bool in_outage(SimClock::Micros now_us) const;
+
+  /// Consults the schedule for one operation at the current virtual time.
+  /// Draws from the schedule's private RNG stream; deterministic per seed.
+  FaultActions on_operation(FaultOp op);
+
+  /// Number of on_operation consultations so far (for tests / debugging).
+  std::uint64_t decisions() const noexcept { return decisions_; }
+
+ private:
+  SimClockPtr clock_;
+  Rng rng_;
+  std::vector<OutageWindow> outages_;
+  double transient_error_prob_ = 0.0;
+  double timeout_prob_ = 0.0;
+  double tail_latency_prob_ = 0.0;
+  double tail_latency_factor_ = 1.0;
+  double read_corruption_prob_ = 0.0;
+  double partial_write_prob_ = 0.0;
+  bool down_ = false;
+  bool byzantine_ = false;
+  std::uint64_t decisions_ = 0;
+};
+
+using FaultSchedulePtr = std::shared_ptr<FaultSchedule>;
+
+}  // namespace rockfs::sim

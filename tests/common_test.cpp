@@ -140,6 +140,21 @@ TEST(Result, StatusBehaviour) {
 TEST(Result, ErrorCodeNames) {
   EXPECT_STREQ(error_code_name(ErrorCode::kIntegrity), "integrity");
   EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTimeout), "timeout");
+}
+
+TEST(Result, IsRetryable) {
+  // Transport-class failures are worth retrying as-is...
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimeout));
+  // ...semantic failures are not: the same request would fail the same way.
+  EXPECT_FALSE(is_retryable(ErrorCode::kOk));
+  EXPECT_FALSE(is_retryable(ErrorCode::kNotFound));
+  EXPECT_FALSE(is_retryable(ErrorCode::kPermissionDenied));
+  EXPECT_FALSE(is_retryable(ErrorCode::kIntegrity));
+  EXPECT_FALSE(is_retryable(ErrorCode::kCorrupted));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
 }
 
 TEST(Rng, Deterministic) {
