@@ -17,6 +17,24 @@ struct Cell {
   double rockfs_s = 0;
 };
 
+// Worst relative disagreement seen between the measured close() delay and
+// the trace's summed exclusive span durations (reconcile_exclusive_us).
+double g_max_reconcile_err = 0;
+
+void check_reconciliation(sim::SimClock::Micros measured) {
+  const auto events = obs::tracer().events();
+  std::uint64_t root_id = 0;
+  for (const auto& e : events) {
+    if (e.name == "scfs.close" && e.id > root_id) root_id = e.id;
+  }
+  if (root_id == 0 || measured <= 0) return;
+  const std::uint64_t exclusive = obs::reconcile_exclusive_us(events, root_id);
+  const double err = std::abs(static_cast<double>(exclusive) -
+                              static_cast<double>(measured)) /
+                     static_cast<double>(measured);
+  g_max_reconcile_err = std::max(g_max_reconcile_err, err);
+}
+
 Cell run_cell(std::size_t size_mb, scfs::SyncMode mode, const BenchArgs& args) {
   Cell cell;
   for (const bool logging : {false, true}) {
@@ -35,6 +53,7 @@ Cell run_cell(std::size_t size_mb, scfs::SyncMode mode, const BenchArgs& args) {
       agent.append(*fd, rng.next_bytes((size_mb << 20) * 3 / 10)).expect("append");
       auto closed = agent.close_timed(*fd);
       closed.value.expect("close");
+      check_reconciliation(closed.delay);
       samples.push_back(static_cast<double>(closed.delay) / 1e6);
     }
     (logging ? cell.rockfs_s : cell.scfs_s) = mean(samples);
@@ -67,6 +86,9 @@ void run(const BenchArgs& args) {
     std::printf("%-42s avg overhead: %5.1f%%  (paper: ~20%%)\n", mode_name,
                 overhead_sum / static_cast<double>(sizes.size()));
   }
+  std::printf("trace reconciliation: max |exclusive-sum - close latency| = %.4f%% "
+              "(must stay <1%%)\n",
+              g_max_reconcile_err * 100.0);
 }
 
 }  // namespace
@@ -75,5 +97,6 @@ void run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   const auto args = rockfs::bench::BenchArgs::parse(argc, argv);
   rockfs::bench::run(args);
+  rockfs::bench::dump_metrics_json(args);
   return 0;
 }

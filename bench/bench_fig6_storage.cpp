@@ -101,6 +101,8 @@ void run(const BenchArgs& args) {
 }  // namespace rockfs::bench
 
 int main(int argc, char** argv) {
-  rockfs::bench::run(rockfs::bench::BenchArgs::parse(argc, argv));
+  const auto args = rockfs::bench::BenchArgs::parse(argc, argv);
+  rockfs::bench::run(args);
+  rockfs::bench::dump_metrics_json(args);
   return 0;
 }

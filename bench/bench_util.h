@@ -13,6 +13,8 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rockfs/attack.h"
 #include "rockfs/deployment.h"
 
@@ -23,6 +25,7 @@ struct BenchArgs {
   int reps = 2;       // repetitions per cell (paper used 10; determinism makes more redundant)
   bool full = false;  // run the heaviest paper cells too
   bool quick = false; // CI-sized sweep
+  std::string metrics_json;  // if set, dump registry + trace JSON here at exit
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -31,10 +34,29 @@ struct BenchArgs {
       if (a == "--full") args.full = true;
       if (a == "--quick") args.quick = true;
       if (a == "--reps" && i + 1 < argc) args.reps = std::atoi(argv[++i]);
+      if (a == "--metrics-json" && i + 1 < argc) args.metrics_json = argv[++i];
     }
     return args;
   }
 };
+
+/// Writes the accumulated metrics registry and span trace to
+/// `args.metrics_json` (no-op when the flag was not given). Call it at the
+/// end of main so the dump covers the whole run; see EXPERIMENTS.md
+/// ("Reading the --metrics-json dumps") for the schema.
+inline void dump_metrics_json(const BenchArgs& args) {
+  if (args.metrics_json.empty()) return;
+  std::FILE* f = std::fopen(args.metrics_json.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+    return;
+  }
+  const std::string metrics = obs::metrics().to_json();
+  const std::string trace = obs::tracer().to_json();
+  std::fprintf(f, "{\"metrics\":%s,\"trace\":%s}\n", metrics.c_str(), trace.c_str());
+  std::fclose(f);
+  std::printf("metrics dump written to %s\n", args.metrics_json.c_str());
+}
 
 inline double mean(const std::vector<double>& xs) {
   double s = 0;

@@ -1,6 +1,7 @@
 #include "cloud/provider.h"
 
 #include "crypto/hmac.h"
+#include "obs/trace.h"
 
 namespace rockfs::cloud {
 
@@ -25,7 +26,98 @@ CloudProvider::CloudProvider(std::string name, sim::SimClockPtr clock,
       net_(std::move(clock), std::move(profile), seed),
       rng_(seed ^ 0x517CC1B727220A95ULL),
       token_secret_(rng_.next_bytes(32)),
-      faults_(std::make_shared<sim::FaultSchedule>(clock_, seed ^ 0xD1B54A32D192ED03ULL)) {}
+      faults_(std::make_shared<sim::FaultSchedule>(clock_, seed ^ 0xD1B54A32D192ED03ULL)) {
+  // Resolve registry handles once; op wrappers then touch only atomics.
+  static constexpr const char* kOps[kOpKinds] = {"get",  "put",     "remove",
+                                                 "list", "archive", "restore"};
+  auto& reg = obs::metrics();
+  for (std::size_t i = 0; i < kOpKinds; ++i) {
+    const std::string base = std::string("cloud.") + kOps[i];
+    op_metrics_[i].count = &reg.counter(obs::metric_key(base + ".count", name_));
+    op_metrics_[i].errors = &reg.counter(obs::metric_key(base + ".errors", name_));
+    op_metrics_[i].bytes = &reg.counter(obs::metric_key(base + ".bytes", name_));
+    op_metrics_[i].delay_us = &reg.histogram(obs::metric_key(base + ".delay_us", name_));
+  }
+}
+
+void CloudProvider::observe_op(OpKind kind, ErrorCode outcome, std::uint64_t bytes,
+                               sim::SimClock::Micros delay_us) {
+  OpMetrics& m = op_metrics(kind);
+  m.count->add();
+  if (outcome != ErrorCode::kOk) m.errors->add();
+  m.bytes->add(bytes);
+  m.delay_us->record(static_cast<std::uint64_t>(delay_us));
+}
+
+sim::Timed<Status> CloudProvider::put(const AccessToken& token, const std::string& key,
+                                      BytesView data) {
+  obs::Span span = obs::tracer().span("cloud.put");
+  span.set_label(name_);
+  auto r = put_impl(token, key, data);
+  span.set_duration(static_cast<std::uint64_t>(r.delay));
+  span.set_bytes(data.size());
+  span.set_outcome(r.value.code());
+  observe_op(OpKind::kPut, r.value.code(), data.size(), r.delay);
+  return r;
+}
+
+sim::Timed<Result<Bytes>> CloudProvider::get(const AccessToken& token,
+                                             const std::string& key) {
+  obs::Span span = obs::tracer().span("cloud.get");
+  span.set_label(name_);
+  auto r = get_impl(token, key);
+  const std::uint64_t bytes = r.value.ok() ? r.value.value().size() : 0;
+  span.set_duration(static_cast<std::uint64_t>(r.delay));
+  span.set_bytes(bytes);
+  span.set_outcome(r.value.code());
+  observe_op(OpKind::kGet, r.value.code(), bytes, r.delay);
+  return r;
+}
+
+sim::Timed<Status> CloudProvider::remove(const AccessToken& token, const std::string& key) {
+  obs::Span span = obs::tracer().span("cloud.remove");
+  span.set_label(name_);
+  auto r = remove_impl(token, key);
+  span.set_duration(static_cast<std::uint64_t>(r.delay));
+  span.set_outcome(r.value.code());
+  observe_op(OpKind::kRemove, r.value.code(), 0, r.delay);
+  return r;
+}
+
+sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list(const AccessToken& token,
+                                                                const std::string& prefix) {
+  obs::Span span = obs::tracer().span("cloud.list");
+  span.set_label(name_);
+  auto r = list_impl(token, prefix);
+  span.set_duration(static_cast<std::uint64_t>(r.delay));
+  span.set_outcome(r.value.code());
+  observe_op(OpKind::kList, r.value.code(), 0, r.delay);
+  return r;
+}
+
+sim::Timed<Status> CloudProvider::archive(const AccessToken& token,
+                                          const std::string& key) {
+  obs::Span span = obs::tracer().span("cloud.archive");
+  span.set_label(name_);
+  auto r = archive_impl(token, key);
+  span.set_duration(static_cast<std::uint64_t>(r.delay));
+  span.set_outcome(r.value.code());
+  observe_op(OpKind::kArchive, r.value.code(), 0, r.delay);
+  return r;
+}
+
+sim::Timed<Result<Bytes>> CloudProvider::restore_from_cold(const AccessToken& token,
+                                                           const std::string& key) {
+  obs::Span span = obs::tracer().span("cloud.restore");
+  span.set_label(name_);
+  auto r = restore_impl(token, key);
+  const std::uint64_t bytes = r.value.ok() ? r.value.value().size() : 0;
+  span.set_duration(static_cast<std::uint64_t>(r.delay));
+  span.set_bytes(bytes);
+  span.set_outcome(r.value.code());
+  observe_op(OpKind::kRestore, r.value.code(), bytes, r.delay);
+  return r;
+}
 
 AccessToken CloudProvider::issue_token(const std::string& user_id, const std::string& fs_id,
                                        TokenScope scope, std::int64_t validity_us) {
@@ -157,8 +249,8 @@ sim::SimClock::Micros CloudProvider::charge(sim::SimClock::Micros base_us,
   return static_cast<sim::SimClock::Micros>(static_cast<double>(base_us) * factor);
 }
 
-sim::Timed<Status> CloudProvider::put(const AccessToken& token, const std::string& key,
-                                      BytesView data) {
+sim::Timed<Status> CloudProvider::put_impl(const AccessToken& token,
+                                           const std::string& key, BytesView data) {
   auto gate = enter_op(token, key, OpKind::kPut);
   const auto delay = charge(net_.upload_delay_us(data.size()), gate.actions);
   if (!gate.status.ok()) {
@@ -188,8 +280,8 @@ sim::Timed<Status> CloudProvider::put(const AccessToken& token, const std::strin
   return {Status::Ok(), delay};
 }
 
-sim::Timed<Result<Bytes>> CloudProvider::get(const AccessToken& token,
-                                             const std::string& key) {
+sim::Timed<Result<Bytes>> CloudProvider::get_impl(const AccessToken& token,
+                                                  const std::string& key) {
   auto gate = enter_op(token, key, OpKind::kGet);
   if (!gate.status.ok()) {
     const bool faulted = gate.actions.fail != ErrorCode::kOk;
@@ -212,7 +304,8 @@ sim::Timed<Result<Bytes>> CloudProvider::get(const AccessToken& token,
           charge(net_.download_delay_us(it->second.data.size()), gate.actions)};
 }
 
-sim::Timed<Status> CloudProvider::remove(const AccessToken& token, const std::string& key) {
+sim::Timed<Status> CloudProvider::remove_impl(const AccessToken& token,
+                                              const std::string& key) {
   auto gate = enter_op(token, key, OpKind::kRemove);
   const auto delay = charge(net_.rpc_delay_us(64, 64), gate.actions);
   if (!gate.status.ok()) return {std::move(gate.status), delay};
@@ -222,8 +315,8 @@ sim::Timed<Status> CloudProvider::remove(const AccessToken& token, const std::st
   return {Status::Ok(), delay};
 }
 
-sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list(const AccessToken& token,
-                                                                const std::string& prefix) {
+sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list_impl(
+    const AccessToken& token, const std::string& prefix) {
   auto gate = enter_op(token, prefix, OpKind::kList);
   if (!gate.status.ok()) {
     const bool faulted = gate.actions.fail != ErrorCode::kOk;
@@ -262,8 +355,8 @@ Status CloudProvider::corrupt_object(const std::string& key) {
   return {};
 }
 
-sim::Timed<Status> CloudProvider::archive(const AccessToken& token,
-                                          const std::string& key) {
+sim::Timed<Status> CloudProvider::archive_impl(const AccessToken& token,
+                                               const std::string& key) {
   auto gate = enter_op(token, key, OpKind::kArchive);
   const auto delay = charge(net_.rpc_delay_us(128, 64), gate.actions);
   if (!gate.status.ok()) return {std::move(gate.status), delay};
@@ -276,8 +369,8 @@ sim::Timed<Status> CloudProvider::archive(const AccessToken& token,
   return {Status::Ok(), delay};
 }
 
-sim::Timed<Result<Bytes>> CloudProvider::restore_from_cold(const AccessToken& token,
-                                                           const std::string& key) {
+sim::Timed<Result<Bytes>> CloudProvider::restore_impl(const AccessToken& token,
+                                                      const std::string& key) {
   // Glacier-class retrieval: a large fixed delay plus a slow transfer.
   constexpr sim::SimClock::Micros kColdRetrievalUs = 4L * 3600 * 1'000'000;  // 4h
   auto gate = enter_op(token, key, OpKind::kRestore);

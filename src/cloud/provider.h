@@ -21,6 +21,7 @@
 #include "cloud/token.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/timed.h"
@@ -118,6 +119,29 @@ class CloudProvider {
 
   /// The operation classes the checked-entry helper distinguishes.
   enum class OpKind { kGet, kPut, kRemove, kList, kArchive, kRestore };
+  static constexpr std::size_t kOpKinds = 6;
+
+  /// Cached registry handles, one set per OpKind: registry lookups happen
+  /// once in the constructor, op wrappers touch only atomics (hot path).
+  struct OpMetrics {
+    obs::Counter* count = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* delay_us = nullptr;
+  };
+  OpMetrics& op_metrics(OpKind kind) { return op_metrics_[static_cast<std::size_t>(kind)]; }
+  /// Records span fields + cached counters for one finished operation.
+  void observe_op(OpKind kind, ErrorCode outcome, std::uint64_t bytes,
+                  sim::SimClock::Micros delay_us);
+
+  sim::Timed<Status> put_impl(const AccessToken& token, const std::string& key,
+                              BytesView data);
+  sim::Timed<Result<Bytes>> get_impl(const AccessToken& token, const std::string& key);
+  sim::Timed<Status> remove_impl(const AccessToken& token, const std::string& key);
+  sim::Timed<Result<std::vector<ObjectStat>>> list_impl(const AccessToken& token,
+                                                        const std::string& prefix);
+  sim::Timed<Status> archive_impl(const AccessToken& token, const std::string& key);
+  sim::Timed<Result<Bytes>> restore_impl(const AccessToken& token, const std::string& key);
 
   /// Shared preamble of every object operation: consults the fault schedule,
   /// then runs the token/authorization checks appropriate for `kind`. A
@@ -144,6 +168,7 @@ class CloudProvider {
   std::set<std::uint64_t> revoked_nonces_;
   sim::TrafficMeter traffic_;
   sim::FaultSchedulePtr faults_;
+  OpMetrics op_metrics_[kOpKinds];
 };
 
 using CloudProviderPtr = std::shared_ptr<CloudProvider>;

@@ -2,6 +2,9 @@
 
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rockfs::coord {
 
 namespace {
@@ -60,8 +63,11 @@ CoordinationService::CoordinationService(sim::SimClockPtr clock, std::size_t f,
 }
 
 template <typename Op>
-sim::Timed<Result<Bytes>> CoordinationService::execute(Op&& op) {
+sim::Timed<Result<Bytes>> CoordinationService::execute(const char* name, Op&& op) {
   // `op(replica)` must return the canonical encoding of the replica's answer.
+  obs::Span span = obs::tracer().span("coord.op");
+  span.set_label(name);
+  obs::metrics().counter(obs::metric_key("coord.ops", name)).add();
   std::map<Bytes, std::vector<sim::SimClock::Micros>> votes;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     // A replica in an outage (or hit by a transient fault) contributes no
@@ -77,7 +83,10 @@ sim::Timed<Result<Bytes>> CoordinationService::execute(Op&& op) {
   }
   for (auto& [answer, delays] : votes) {
     if (delays.size() >= quorum()) {
-      return {Bytes(answer), sim::quorum_delay(delays, quorum())};
+      const auto delay = sim::quorum_delay(delays, quorum());
+      span.set_duration(static_cast<std::uint64_t>(delay));
+      obs::metrics().histogram("coord.delay_us").record(static_cast<std::uint64_t>(delay));
+      return {Bytes(answer), delay};
     }
   }
   // No quorum: report when the slowest live replica answered.
@@ -85,12 +94,16 @@ sim::Timed<Result<Bytes>> CoordinationService::execute(Op&& op) {
   for (auto& [answer, delays] : votes) {
     all.insert(all.end(), delays.begin(), delays.end());
   }
-  return {Error{ErrorCode::kUnavailable, "coordination: no 2f+1 quorum"},
-          sim::parallel_delay(all)};
+  const auto delay = sim::parallel_delay(all);
+  span.set_duration(static_cast<std::uint64_t>(delay));
+  span.set_outcome(ErrorCode::kUnavailable);
+  obs::metrics().counter(obs::metric_key("coord.no_quorum", name)).add();
+  obs::metrics().histogram("coord.delay_us").record(static_cast<std::uint64_t>(delay));
+  return {Error{ErrorCode::kUnavailable, "coordination: no 2f+1 quorum"}, delay};
 }
 
 sim::Timed<Status> CoordinationService::out(const Tuple& tuple) {
-  auto r = execute([&](Replica& rep) {
+  auto r = execute("out", [&](Replica& rep) {
     rep.out(tuple);
     return to_bytes("ok");
   });
@@ -99,7 +112,7 @@ sim::Timed<Status> CoordinationService::out(const Tuple& tuple) {
 }
 
 sim::Timed<Result<std::optional<Tuple>>> CoordinationService::rdp(const Template& pattern) {
-  auto r = execute([&](Replica& rep) {
+  auto r = execute("rdp", [&](Replica& rep) {
     auto ans = rep.rdp(pattern);
     if (ans.has_value()) ans = rep.maybe_lie(std::move(*ans));
     return encode_opt_tuple(ans);
@@ -109,7 +122,7 @@ sim::Timed<Result<std::optional<Tuple>>> CoordinationService::rdp(const Template
 }
 
 sim::Timed<Result<std::optional<Tuple>>> CoordinationService::inp(const Template& pattern) {
-  auto r = execute([&](Replica& rep) {
+  auto r = execute("inp", [&](Replica& rep) {
     auto ans = rep.inp(pattern);
     if (ans.has_value()) ans = rep.maybe_lie(std::move(*ans));
     return encode_opt_tuple(ans);
@@ -119,7 +132,7 @@ sim::Timed<Result<std::optional<Tuple>>> CoordinationService::inp(const Template
 }
 
 sim::Timed<Result<std::vector<Tuple>>> CoordinationService::rdall(const Template& pattern) {
-  auto r = execute([&](Replica& rep) {
+  auto r = execute("rdall", [&](Replica& rep) {
     auto ts = rep.rdall(pattern);
     if (rep.byzantine()) {
       for (auto& t : ts) t = rep.maybe_lie(std::move(t));
@@ -132,7 +145,7 @@ sim::Timed<Result<std::vector<Tuple>>> CoordinationService::rdall(const Template
 
 sim::Timed<Result<bool>> CoordinationService::cas(const Template& pattern,
                                                   const Tuple& tuple) {
-  auto r = execute([&](Replica& rep) {
+  auto r = execute("cas", [&](Replica& rep) {
     const bool inserted = rep.cas(pattern, tuple);
     return encode_bool(rep.byzantine() ? !inserted : inserted);
   });
@@ -142,13 +155,14 @@ sim::Timed<Result<bool>> CoordinationService::cas(const Template& pattern,
 
 sim::Timed<Result<std::size_t>> CoordinationService::replace(const Template& pattern,
                                                              const Tuple& tuple) {
-  auto r = execute([&](Replica& rep) { return encode_size(rep.replace(pattern, tuple)); });
+  auto r = execute("replace",
+                   [&](Replica& rep) { return encode_size(rep.replace(pattern, tuple)); });
   if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
   return {static_cast<std::size_t>(read_u64(*r.value, 0)), r.delay};
 }
 
 sim::Timed<Result<std::size_t>> CoordinationService::count(const Template& pattern) {
-  auto r = execute([&](Replica& rep) {
+  auto r = execute("count", [&](Replica& rep) {
     const std::size_t c = rep.count(pattern);
     return encode_size(rep.byzantine() ? c + 1 : c);
   });

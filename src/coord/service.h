@@ -62,7 +62,7 @@ class CoordinationService {
   /// Runs `op` on every live replica, votes, and returns the winning encoded
   /// answer (>= 2f+1 identical votes) with the quorum completion delay.
   template <typename Op>
-  sim::Timed<Result<Bytes>> execute(Op&& op);
+  sim::Timed<Result<Bytes>> execute(const char* name, Op&& op);
 
   sim::SimClockPtr clock_;
   std::size_t f_;

@@ -7,6 +7,7 @@
 #include "crypto/aes.h"
 #include "crypto/sha256.h"
 #include "erasure/reed_solomon.h"
+#include "obs/trace.h"
 #include "secretshare/shamir.h"
 
 namespace rockfs::depsky {
@@ -55,7 +56,19 @@ DepSkyClient::DepSkyClient(DepSkyConfig config, BytesView drbg_seed)
   }
   health_.reserve(config_.clouds.size());
   for (const auto& cloud : config_.clouds) {
-    health_.emplace_back(cloud->clock(), config_.health);
+    health_.emplace_back(cloud->clock(), config_.health, cloud->name());
+  }
+  auto& reg = obs::metrics();
+  obs_.attempts = &reg.counter("depsky.attempts");
+  obs_.retries = &reg.counter("depsky.retries");
+  obs_.deadline_hits = &reg.counter("depsky.deadline_hits");
+  obs_.breaker_skips = &reg.counter("depsky.breaker.skips");
+  obs_.forced_probes = &reg.counter("depsky.forced_probes");
+  for (const auto& cloud : config_.clouds) {
+    obs_.put_data_bytes.push_back(
+        &reg.counter(obs::metric_key("depsky.put.data.bytes", cloud->name())));
+    obs_.put_data_acks.push_back(
+        &reg.counter(obs::metric_key("depsky.put.data.acks", cloud->name())));
   }
   const Bytes own = config_.writer.public_bytes();
   bool has_own = false;
@@ -80,8 +93,10 @@ std::vector<std::size_t> DepSkyClient::contact_set() {
   for (std::size_t j = 0; allowed.size() < quorum && j < open.size(); ++j) {
     allowed.push_back(open[j]);
     ++stats_.forced_probes;
+    obs_.forced_probes->add();
   }
   stats_.breaker_skips += n() - allowed.size();
+  obs_.breaker_skips->add(n() - allowed.size());
   std::sort(allowed.begin(), allowed.end());
   return allowed;
 }
@@ -90,7 +105,12 @@ void DepSkyClient::record_outcome(std::size_t cloud, const RetryOutcome& outcome
                                   ErrorCode final) {
   stats_.attempts += static_cast<std::uint64_t>(outcome.attempts);
   stats_.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
-  if (outcome.deadline_exhausted) ++stats_.deadline_hits;
+  obs_.attempts->add(static_cast<std::uint64_t>(outcome.attempts));
+  obs_.retries->add(static_cast<std::uint64_t>(outcome.attempts - 1));
+  if (outcome.deadline_exhausted) {
+    ++stats_.deadline_hits;
+    obs_.deadline_hits->add();
+  }
   // Only transport-class failures count against the breaker: kNotFound,
   // kPermissionDenied etc. mean the cloud answered and is healthy.
   if (final == ErrorCode::kUnavailable || final == ErrorCode::kTimeout) {
@@ -103,27 +123,45 @@ void DepSkyClient::record_outcome(std::size_t cloud, const RetryOutcome& outcome
 sim::Timed<Result<Bytes>> DepSkyClient::guarded_get(std::size_t i,
                                                     const cloud::AccessToken& token,
                                                     const std::string& key) {
+  obs::Span span = obs::tracer().span("depsky.get");
+  span.set_label(config_.clouds[i]->name());
   RetryOutcome outcome;
   auto timed = retry_timed(
       config_.retry, backoff_rng_.next_u64(),
       [&] { return config_.clouds[i]->get(token, key); }, &outcome);
   record_outcome(i, outcome, timed.value.code());
+  span.set_duration(static_cast<std::uint64_t>(timed.delay));
+  // Provider attempts are this span's serial children; only the retry
+  // backoff pauses are this layer's own (exclusive) time.
+  span.charge_child(static_cast<std::uint64_t>(timed.delay - outcome.backoff_us));
+  span.set_retries(static_cast<std::uint32_t>(outcome.attempts - 1));
+  span.set_outcome(timed.value.code());
   return timed;
 }
 
 sim::Timed<Status> DepSkyClient::guarded_put(std::size_t i, const cloud::AccessToken& token,
                                              const std::string& key, BytesView data) {
+  obs::Span span = obs::tracer().span("depsky.put");
+  span.set_label(config_.clouds[i]->name());
   RetryOutcome outcome;
   auto timed = retry_timed(
       config_.retry, backoff_rng_.next_u64(),
       [&] { return config_.clouds[i]->put(token, key, data); }, &outcome);
   record_outcome(i, outcome, timed.value.code());
+  span.set_duration(static_cast<std::uint64_t>(timed.delay));
+  span.charge_child(static_cast<std::uint64_t>(timed.delay - outcome.backoff_us));
+  span.set_retries(static_cast<std::uint32_t>(outcome.attempts - 1));
+  span.set_bytes(data.size());
+  span.set_outcome(timed.value.code());
   return timed;
 }
 
 DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
     const std::vector<cloud::AccessToken>& tokens, const std::vector<std::string>& keys,
-    const std::vector<BytesView>& blobs) {
+    const std::vector<BytesView>& blobs, const char* phase) {
+  obs::Span group = obs::tracer().span("depsky.put_quorum", {.fanout = true});
+  group.set_label(phase);
+  const bool data_phase = std::string_view(phase) == "data";
   QuorumPutResult result;
   std::vector<sim::SimClock::Micros> delays;
   std::vector<std::pair<std::size_t, ErrorCode>> failures;
@@ -131,6 +169,12 @@ DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
     delays.push_back(put.delay);
     if (put.value.ok()) {
       ++result.acks;
+      if (data_phase) {
+        // Acked data puts feed the byte-conservation invariant checked by
+        // the property tests: sum(bytes) == blob size x sum(acks).
+        obs_.put_data_bytes[i]->add(blobs[i].size());
+        obs_.put_data_acks[i]->add();
+      }
     } else {
       failures.emplace_back(i, put.value.code());
     }
@@ -149,12 +193,14 @@ DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
       auto put = guarded_put(i, tokens[i], keys[i], blobs[i]);
       put.delay += round1;
       ++stats_.forced_probes;
+      obs_.forced_probes->add();
       push(i, std::move(put));
     }
   }
 
   result.delay = delays.size() >= n() - f() ? sim::quorum_delay(delays, n() - f())
                                             : sim::parallel_delay(delays);
+  group.set_duration(static_cast<std::uint64_t>(result.delay));
   std::sort(failures.begin(), failures.end());
   for (const auto& [i, code] : failures) {
     if (!result.failure_detail.empty()) result.failure_detail += ", ";
@@ -181,6 +227,7 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
     const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
   // Query every contactable cloud in parallel; a quorum of n-f responses
   // (found or definitive not-found) settles the answer.
+  obs::Span group = obs::tracer().span("depsky.meta_fetch", {.fanout = true});
   std::vector<sim::SimClock::Micros> delays;
   UnitMetadata best;
   bool found = false;
@@ -215,6 +262,7 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
       auto got = guarded_get(i, tokens[i], metadata_key(unit));
       got.delay += round1;
       ++stats_.forced_probes;
+      obs_.forced_probes->add();
       ingest(std::move(got));
     }
   }
@@ -222,10 +270,13 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
   const auto delay = delays.size() >= n() - f()
                          ? sim::quorum_delay(delays, n() - f())
                          : sim::parallel_delay(delays);
+  group.set_duration(static_cast<std::uint64_t>(delay));
   if (responses < n() - f()) {
+    group.set_outcome(ErrorCode::kUnavailable);
     return {Error{ErrorCode::kUnavailable, "depsky: metadata quorum unavailable"}, delay};
   }
   if (!found) {
+    group.set_outcome(ErrorCode::kNotFound);
     return {Error{ErrorCode::kNotFound, "depsky: no such unit: " + unit}, delay};
   }
   return {std::move(best), delay};
@@ -248,15 +299,20 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   if (tokens.size() != n()) {
     return {Status{ErrorCode::kInvalidArgument, "depsky write: one token per cloud"}, 0};
   }
+  obs::Span span = obs::tracer().span("depsky.write");
+  span.set_bytes(data.size());
   sim::SimClock::Micros total_delay = 0;
 
   // Phase 1: find the current version (skippable only if the caller knows it).
   auto head = fetch_metadata(tokens, unit);
   total_delay += head.delay;
+  span.charge_child(static_cast<std::uint64_t>(head.delay));
   std::uint64_t old_version = 0;
   if (head.metadata.ok()) {
     old_version = head.metadata->version;
   } else if (head.metadata.code() != ErrorCode::kNotFound) {
+    span.set_duration(static_cast<std::uint64_t>(total_delay));
+    span.set_outcome(head.metadata.code());
     return {Status{head.metadata.error()}, total_delay};
   }
   const std::uint64_t version = old_version + 1;
@@ -299,9 +355,12 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
     share_keys.push_back(share_key(unit, version, i));
     share_views.emplace_back(blobs[i]);
   }
-  auto shares_put = quorum_put(tokens, share_keys, share_views);
+  auto shares_put = quorum_put(tokens, share_keys, share_views, "data");
   total_delay += shares_put.delay;
+  span.charge_child(static_cast<std::uint64_t>(shares_put.delay));
   if (shares_put.acks < n() - f()) {
+    span.set_duration(static_cast<std::uint64_t>(total_delay));
+    span.set_outcome(ErrorCode::kUnavailable);
     return {Status{ErrorCode::kUnavailable,
                    "depsky write: share quorum unavailable (" +
                        std::to_string(shares_put.acks) + "/" +
@@ -314,9 +373,12 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   // not yet stable (the paper's §2.5 ordering argument).
   const std::vector<std::string> meta_keys(n(), metadata_key(unit));
   const std::vector<BytesView> meta_views(n(), BytesView(meta_bytes));
-  auto meta_put = quorum_put(tokens, meta_keys, meta_views);
+  auto meta_put = quorum_put(tokens, meta_keys, meta_views, "meta");
   total_delay += meta_put.delay;
+  span.charge_child(static_cast<std::uint64_t>(meta_put.delay));
   if (meta_put.acks < n() - f()) {
+    span.set_duration(static_cast<std::uint64_t>(total_delay));
+    span.set_outcome(ErrorCode::kUnavailable);
     return {Status{ErrorCode::kUnavailable,
                    "depsky write: metadata quorum unavailable (" +
                        std::to_string(meta_put.acks) + "/" +
@@ -330,10 +392,14 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   // units never reach here with an old version, and file deletes may be
   // refused during outages — both are harmless leftovers.
   if (old_version != 0) {
+    // Zero-duration fanout group: the removes show up in the trace but
+    // contribute nothing to the write's accounted time.
+    obs::Span gc = obs::tracer().span("depsky.gc", {.fanout = true});
     for (std::size_t i = 0; i < n(); ++i) {
       (void)config_.clouds[i]->remove(tokens[i], share_key(unit, old_version, i));
     }
   }
+  span.set_duration(static_cast<std::uint64_t>(total_delay));
   return {Status::Ok(), total_delay};
 }
 
@@ -352,11 +418,17 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
   if (tokens.size() != n()) {
     return {Error{ErrorCode::kInvalidArgument, "depsky read: one token per cloud"}, 0};
   }
+  obs::Span span = obs::tracer().span("depsky.read");
   sim::SimClock::Micros total_delay = 0;
 
   auto head = fetch_metadata(tokens, unit);
   total_delay += head.delay;
-  if (!head.metadata.ok()) return {Error{head.metadata.error()}, total_delay};
+  span.charge_child(static_cast<std::uint64_t>(head.delay));
+  if (!head.metadata.ok()) {
+    span.set_duration(static_cast<std::uint64_t>(total_delay));
+    span.set_outcome(head.metadata.code());
+    return {Error{head.metadata.error()}, total_delay};
+  }
   const UnitMetadata& meta = *head.metadata;
 
   // Fetch shares in parallel from healthy clouds (per-cloud retry), keep
@@ -367,6 +439,7 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
     sim::SimClock::Micros delay;
   };
   const std::size_t needed = config_.protocol == Protocol::kA ? 1 : k();
+  obs::Span group = obs::tracer().span("depsky.share_fetch", {.fanout = true});
   std::vector<ValidShare> valid;
   std::vector<sim::SimClock::Micros> all_delays;
   const auto fetch_share = [&](std::size_t i, sim::SimClock::Micros offset) {
@@ -389,10 +462,18 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
       ++stats_.forced_probes;
+      obs_.forced_probes->add();
       fetch_share(i, round1);
     }
   }
   if (valid.size() < needed) {
+    const auto fetch_delay = sim::parallel_delay(all_delays);
+    group.set_duration(static_cast<std::uint64_t>(fetch_delay));
+    group.set_outcome(ErrorCode::kUnavailable);
+    group.finish();
+    span.charge_child(static_cast<std::uint64_t>(fetch_delay));
+    span.set_duration(static_cast<std::uint64_t>(total_delay + fetch_delay));
+    span.set_outcome(ErrorCode::kUnavailable);
     return {Error{ErrorCode::kUnavailable, "depsky read: not enough valid shares"},
             total_delay + sim::parallel_delay(all_delays)};
   }
@@ -400,7 +481,13 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
   std::vector<sim::SimClock::Micros> valid_delays;
   valid_delays.reserve(valid.size());
   for (const auto& v : valid) valid_delays.push_back(v.delay);
-  total_delay += sim::quorum_delay(valid_delays, needed);
+  const auto fetch_delay = sim::quorum_delay(valid_delays, needed);
+  total_delay += fetch_delay;
+  group.set_duration(static_cast<std::uint64_t>(fetch_delay));
+  group.finish();
+  span.charge_child(static_cast<std::uint64_t>(fetch_delay));
+  span.set_duration(static_cast<std::uint64_t>(total_delay));
+  span.set_bytes(meta.data_size);
 
   if (config_.protocol == Protocol::kA) {
     if (valid.front().blob.size() != meta.data_size) {
@@ -453,15 +540,19 @@ sim::Timed<Result<DepSkyClient::RepairReport>> DepSkyClient::repair(
   };
   std::vector<ShareState> states(n());
   std::vector<sim::SimClock::Micros> fetch_delays;
-  for (std::size_t i = 0; i < n(); ++i) {
-    auto got = config_.clouds[i]->get(tokens[i], share_key(unit, meta.version, i));
-    fetch_delays.push_back(got.delay);
-    if (!got.value.ok()) continue;
-    states[i].present = true;
-    if (ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) {
-      states[i].valid = true;
-      states[i].blob = std::move(*got.value);
+  {
+    obs::Span group = obs::tracer().span("depsky.repair_inventory", {.fanout = true});
+    for (std::size_t i = 0; i < n(); ++i) {
+      auto got = config_.clouds[i]->get(tokens[i], share_key(unit, meta.version, i));
+      fetch_delays.push_back(got.delay);
+      if (!got.value.ok()) continue;
+      states[i].present = true;
+      if (ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) {
+        states[i].valid = true;
+        states[i].blob = std::move(*got.value);
+      }
     }
+    group.set_duration(static_cast<std::uint64_t>(sim::parallel_delay(fetch_delays)));
   }
   total_delay += sim::parallel_delay(fetch_delays);
 
@@ -522,15 +613,19 @@ sim::Timed<Result<DepSkyClient::RepairReport>> DepSkyClient::repair(
   // Push the rebuilt shares. Overwrites of corrupt log objects are denied by
   // the append-only rule and reported as unrepairable.
   std::vector<sim::SimClock::Micros> put_delays;
-  for (const std::size_t j : to_repair) {
-    auto put =
-        config_.clouds[j]->put(tokens[j], share_key(unit, meta.version, j), rebuilt[j]);
-    put_delays.push_back(put.delay);
-    if (put.value.ok()) {
-      ++report.shares_repaired;
-    } else {
-      ++report.shares_unrepairable;
+  {
+    obs::Span group = obs::tracer().span("depsky.repair_push", {.fanout = true});
+    for (const std::size_t j : to_repair) {
+      auto put =
+          config_.clouds[j]->put(tokens[j], share_key(unit, meta.version, j), rebuilt[j]);
+      put_delays.push_back(put.delay);
+      if (put.value.ok()) {
+        ++report.shares_repaired;
+      } else {
+        ++report.shares_unrepairable;
+      }
     }
+    group.set_duration(static_cast<std::uint64_t>(sim::parallel_delay(put_delays)));
   }
   total_delay += sim::parallel_delay(put_delays);
   return {report, total_delay};
@@ -541,9 +636,16 @@ sim::Timed<Status> DepSkyClient::remove(const std::vector<cloud::AccessToken>& t
   if (tokens.size() != n()) {
     return {Status{ErrorCode::kInvalidArgument, "depsky remove: one token per cloud"}, 0};
   }
+  obs::Span span = obs::tracer().span("depsky.remove");
   auto head = fetch_metadata(tokens, unit);
-  if (!head.metadata.ok()) return {Status{head.metadata.error()}, head.delay};
+  span.charge_child(static_cast<std::uint64_t>(head.delay));
+  if (!head.metadata.ok()) {
+    span.set_duration(static_cast<std::uint64_t>(head.delay));
+    span.set_outcome(head.metadata.code());
+    return {Status{head.metadata.error()}, head.delay};
+  }
 
+  obs::Span group = obs::tracer().span("depsky.remove_fanout", {.fanout = true});
   std::vector<sim::SimClock::Micros> delays;
   std::size_t acks = 0;
   for (std::size_t i = 0; i < n(); ++i) {
@@ -553,11 +655,31 @@ sim::Timed<Status> DepSkyClient::remove(const std::vector<cloud::AccessToken>& t
     delays.push_back(std::max(rm_meta.delay, rm_share.delay));
     if (rm_meta.value.ok()) ++acks;
   }
-  const auto delay = head.delay + sim::quorum_delay(delays, n() - f());
+  const auto fanout_delay = sim::quorum_delay(delays, n() - f());
+  group.set_duration(static_cast<std::uint64_t>(fanout_delay));
+  group.finish();
+  span.charge_child(static_cast<std::uint64_t>(fanout_delay));
+  const auto delay = head.delay + fanout_delay;
+  span.set_duration(static_cast<std::uint64_t>(delay));
   if (acks < n() - f()) {
+    span.set_outcome(ErrorCode::kUnavailable);
     return {Status{ErrorCode::kUnavailable, "depsky remove: quorum unavailable"}, delay};
   }
   return {Status::Ok(), delay};
+}
+
+std::size_t DepSkyClient::encoded_blob_size(std::size_t data_size) const {
+  if (config_.protocol == Protocol::kA) return data_size;
+  // Dummy-encode a zero payload of the right size: shard and key-share sizes
+  // depend only on lengths and (k, n), never on the data or the key.
+  const std::size_t sealed_size = data_size + crypto::Aes256::kBlockSize;  // + IV
+  const erasure::ReedSolomon rs(k(), n());
+  const auto shards = rs.encode(Bytes(sealed_size, 0));
+  crypto::Drbg sizing_drbg(to_bytes("depsky-sizing-seed"), to_bytes("sizing"));
+  const auto key_shares =
+      secretshare::shamir_share(Bytes(32, 0), k(), n(), sizing_drbg);
+  Bytes blob = encode_ca_blob(shards.front().data, key_shares.front());
+  return blob.size();
 }
 
 }  // namespace rockfs::depsky

@@ -25,6 +25,7 @@
 #include "crypto/signature.h"
 #include "depsky/health.h"
 #include "depsky/metadata.h"
+#include "obs/metrics.h"
 #include "sim/timed.h"
 
 namespace rockfs::depsky {
@@ -105,6 +106,13 @@ class DepSkyClient {
   };
   const ResilienceStats& resilience_stats() const noexcept { return stats_; }
 
+  /// Size of the per-cloud blob a write of `data_size` bytes stores at each
+  /// cloud: the payload itself (protocol A) or erasure shard + key share
+  /// (protocol CA). Derived independently of the write path (a dummy
+  /// encode), so tests can check byte-conservation invariants against the
+  /// per-cloud put counters without circularity.
+  std::size_t encoded_blob_size(std::size_t data_size) const;
+
  private:
   struct MetadataFetch {
     Result<UnitMetadata> metadata;
@@ -144,17 +152,31 @@ class DepSkyClient {
     sim::SimClock::Micros delay = 0;  // completion of the quorum (or of all tries)
     std::string failure_detail;       // "cloud-1=timeout, cloud-2=unavailable"
   };
+  /// `phase` labels the quorum span and selects the per-cloud byte
+  /// accounting: the "data" phase records depsky.put.data.{bytes,acks}.
   QuorumPutResult quorum_put(const std::vector<cloud::AccessToken>& tokens,
                              const std::vector<std::string>& keys,
-                             const std::vector<BytesView>& blobs);
+                             const std::vector<BytesView>& blobs, const char* phase);
 
   void record_outcome(std::size_t cloud, const RetryOutcome& outcome, ErrorCode final);
+
+  /// Registry handles resolved once at construction (hot-path friendly).
+  struct ObsHandles {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* deadline_hits = nullptr;
+    obs::Counter* breaker_skips = nullptr;
+    obs::Counter* forced_probes = nullptr;
+    std::vector<obs::Counter*> put_data_bytes;  // per cloud, acked data puts
+    std::vector<obs::Counter*> put_data_acks;   // per cloud
+  };
 
   DepSkyConfig config_;
   crypto::Drbg drbg_;
   std::vector<HealthTracker> health_;  // one breaker per cloud
   Rng backoff_rng_;                    // jitter stream for retry backoff
   ResilienceStats stats_;
+  ObsHandles obs_;
 };
 
 }  // namespace rockfs::depsky

@@ -4,8 +4,12 @@
 
 namespace rockfs::depsky {
 
-HealthTracker::HealthTracker(sim::SimClockPtr clock, HealthOptions options)
-    : clock_(std::move(clock)), options_(options) {
+HealthTracker::HealthTracker(sim::SimClockPtr clock, HealthOptions options,
+                             std::string label)
+    : clock_(std::move(clock)),
+      options_(options),
+      opened_counter_(
+          &obs::metrics().counter(obs::metric_key("depsky.breaker.opened", label))) {
   if (!clock_) throw std::invalid_argument("HealthTracker: null clock");
   if (options_.failure_threshold < 1 || options_.half_open_successes < 1) {
     throw std::invalid_argument("HealthTracker: thresholds must be >= 1");
@@ -44,6 +48,7 @@ void HealthTracker::record_failure() {
         opened_at_us_ = clock_->now_us();
         probe_successes_ = 0;
         ++times_opened_;
+        opened_counter_->add();
       }
       break;
     case State::kHalfOpen:
@@ -52,6 +57,7 @@ void HealthTracker::record_failure() {
       opened_at_us_ = clock_->now_us();
       probe_successes_ = 0;
       ++times_opened_;
+      opened_counter_->add();
       break;
     case State::kOpen:
       // A failed forced probe pushes the half-open transition back.

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "obs/metrics.h"
 #include "sim/clock.h"
 
 namespace rockfs::depsky {
@@ -32,7 +34,10 @@ class HealthTracker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
-  HealthTracker(sim::SimClockPtr clock, HealthOptions options = {});
+  /// `label` (typically the cloud name) tags the breaker's registry metrics;
+  /// empty means the unlabeled "depsky.breaker.opened" counter.
+  HealthTracker(sim::SimClockPtr clock, HealthOptions options = {},
+                std::string label = {});
 
   /// Effective state at the current virtual time (open lapses into
   /// half-open once the cooldown has passed).
@@ -55,6 +60,7 @@ class HealthTracker {
   int probe_successes_ = 0;
   sim::SimClock::Micros opened_at_us_ = 0;
   std::uint64_t times_opened_ = 0;
+  obs::Counter* opened_counter_ = nullptr;  // cached registry handle
 };
 
 }  // namespace rockfs::depsky

@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace rockfs::obs {
+
+Span::Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+  other.tracer_ = nullptr;
+  other.id_ = 0;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Span::~Span() { finish(); }
+
+void Span::set_duration(std::uint64_t us) {
+  if (tracer_) tracer_->set_span_duration(id_, us);
+}
+
+void Span::charge_child(std::uint64_t us) {
+  if (tracer_) tracer_->charge_span(id_, us);
+}
+
+void Span::set_outcome(ErrorCode code) {
+  if (tracer_) tracer_->set_span_outcome(id_, code);
+}
+
+void Span::set_retries(std::uint32_t n) {
+  if (tracer_) tracer_->set_span_retries(id_, n);
+}
+
+void Span::set_bytes(std::uint64_t n) {
+  if (tracer_) tracer_->set_span_bytes(id_, n);
+}
+
+void Span::set_label(std::string label) {
+  if (tracer_) tracer_->set_span_label(id_, std::move(label));
+}
+
+void Span::finish() {
+  if (tracer_) {
+    tracer_->finish_span(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+void Tracer::bind_clock(sim::SimClockPtr clock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_ = std::move(clock);
+}
+
+void Tracer::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lk(mu_);
+  enabled_ = enabled;
+}
+
+bool Tracer::enabled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return enabled_;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = capacity ? capacity : 1;
+  ring_.assign(capacity_, TraceEvent{});
+  finished_ = 0;
+  stack_.clear();
+}
+
+Span Tracer::span(std::string name, SpanOptions opts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_) return Span{};
+  OpenSpan open;
+  open.id = next_id_++;
+  open.fanout = opts.fanout;
+  open.event.id = open.id;
+  open.event.name = std::move(name);
+  open.event.start_us = clock_ ? clock_->now_us() : 0;
+  if (!stack_.empty()) {
+    const OpenSpan& parent = stack_.back();
+    open.event.parent = parent.id;
+    if (parent.fanout) open.event.kind = SpanKind::kParallel;
+  }
+  stack_.push_back(std::move(open));
+  return Span{this, stack_.back().id};
+}
+
+Tracer::OpenSpan* Tracer::find_open(std::uint64_t id) {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+void Tracer::finish_span(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  OpenSpan* open = find_open(id);
+  if (!open || open->finished) return;
+  open->finished = true;
+  // Spans normally close LIFO; tolerate out-of-order finish by retiring the
+  // contiguous finished suffix of the stack only.
+  while (!stack_.empty() && stack_.back().finished) {
+    ring_[finished_ % capacity_] = std::move(stack_.back().event);
+    ++finished_;
+    stack_.pop_back();
+  }
+}
+
+void Tracer::set_span_duration(std::uint64_t id, std::uint64_t us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (OpenSpan* open = find_open(id)) open->event.duration_us = us;
+}
+
+void Tracer::charge_span(std::uint64_t id, std::uint64_t us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (OpenSpan* open = find_open(id)) open->event.charged_us += us;
+}
+
+void Tracer::set_span_retries(std::uint64_t id, std::uint32_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (OpenSpan* open = find_open(id)) open->event.retries = n;
+}
+
+void Tracer::set_span_bytes(std::uint64_t id, std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (OpenSpan* open = find_open(id)) open->event.bytes = n;
+}
+
+void Tracer::set_span_label(std::uint64_t id, std::string label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (OpenSpan* open = find_open(id)) open->event.label = std::move(label);
+}
+
+void Tracer::set_span_outcome(std::uint64_t id, ErrorCode code) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (OpenSpan* open = find_open(id)) open->event.outcome = code;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out;
+  const std::uint64_t retained = std::min<std::uint64_t>(finished_, capacity_);
+  out.reserve(retained);
+  const std::uint64_t begin = finished_ - retained;
+  for (std::uint64_t i = begin; i < finished_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.id < b.id; });
+  return out;
+}
+
+std::uint64_t Tracer::finished_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return finished_;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return finished_ > capacity_ ? finished_ - capacity_ : 0;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : ring_) e = TraceEvent{};
+  finished_ = 0;
+  next_id_ = 1;
+  stack_.clear();
+}
+
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::uint64_t finished;
+  std::uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    finished = finished_;
+    dropped = finished_ > capacity_ ? finished_ - capacity_ : 0;
+  }
+  std::ostringstream out;
+  out << "{\"finished\":" << finished << ",\"dropped\":" << dropped
+      << ",\"events\":[";
+  bool first = true;
+  for (const auto& e : evs) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"id\":" << e.id << ",\"parent\":" << e.parent << ",\"name\":";
+    append_escaped(out, e.name);
+    out << ",\"label\":";
+    append_escaped(out, e.label);
+    out << ",\"kind\":" << (e.kind == SpanKind::kParallel ? "\"parallel\"" : "\"serial\"")
+        << ",\"start_us\":" << e.start_us << ",\"duration_us\":" << e.duration_us
+        << ",\"charged_us\":" << e.charged_us << ",\"outcome\":\""
+        << error_code_name(e.outcome) << "\",\"retries\":" << e.retries
+        << ",\"bytes\":" << e.bytes << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+std::uint64_t reconcile_exclusive_us(const std::vector<TraceEvent>& events,
+                                     std::uint64_t root_id) {
+  std::unordered_map<std::uint64_t, std::vector<const TraceEvent*>> children;
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  for (const auto& e : events) {
+    by_id[e.id] = &e;
+    children[e.parent].push_back(&e);
+  }
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> work{root_id};
+  std::unordered_set<std::uint64_t> seen;
+  while (!work.empty()) {
+    const std::uint64_t id = work.back();
+    work.pop_back();
+    if (!seen.insert(id).second) continue;
+    auto it = by_id.find(id);
+    if (it == by_id.end()) continue;
+    const TraceEvent& e = *it->second;
+    // Parallel branches' costs are already folded into their fanout group's
+    // composed duration; do not descend into them.
+    if (e.id != root_id && e.kind == SpanKind::kParallel) continue;
+    const std::uint64_t exclusive =
+        e.duration_us > e.charged_us ? e.duration_us - e.charged_us : 0;
+    total += exclusive;
+    auto cit = children.find(id);
+    if (cit != children.end()) {
+      for (const TraceEvent* c : cit->second) work.push_back(c->id);
+    }
+  }
+  return total;
+}
+
+}  // namespace rockfs::obs

@@ -1,0 +1,164 @@
+// Sim-clock-aware span tracing with a deterministic ring-buffer sink.
+//
+// Spans nest lexically: Tracer::span() parents the new span under the
+// innermost still-open span on the same tracer (the stack), and records the
+// simulated start time from the bound SimClock. Components that compute
+// virtual delays without advancing the clock set the span's duration
+// explicitly (set_duration); spans finish (and enter the ring buffer) on
+// destruction or an explicit finish().
+//
+// Exclusive-time accounting — how per-layer breakdowns reconcile with the
+// headline latency in a simulator where child "latencies" overlap:
+//   * a parent that serially composes child delays calls
+//     charge_child(child_delay) per child; its exclusive time is then
+//     duration - charged;
+//   * a parent that fans children out in (simulated) parallel opens the
+//     group with SpanOptions{.fanout = true}; direct children of a fanout
+//     span are marked SpanKind::kParallel and reconcile_exclusive_us()
+//     skips their subtrees, counting only the group span's own duration
+//     (which the owner sets to the composed quorum/max delay).
+// With that discipline, reconcile_exclusive_us(events, root) ==
+// root.duration_us exactly; the fig5 bench asserts this within 1%.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/clock.h"
+
+namespace rockfs::obs {
+
+enum class SpanKind : std::uint8_t {
+  kSerial = 0,    // contributes to the parent's timeline serially
+  kParallel = 1,  // one branch of a fanout group; overlaps its siblings
+};
+
+/// One finished span, as stored in the ring buffer.
+struct TraceEvent {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::string label;
+  SpanKind kind = SpanKind::kSerial;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint64_t charged_us = 0;  // child delays the owner serially composed
+  ErrorCode outcome = ErrorCode::kOk;
+  std::uint32_t retries = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct SpanOptions {
+  bool fanout = false;  // direct children overlap (quorum / pipeline groups)
+};
+
+class Tracer;
+
+/// Move-only RAII handle. A default-constructed (or disabled-tracer) span is
+/// inert: every setter is a no-op and nothing is recorded.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void set_duration(std::uint64_t us);
+  /// Add a serially-composed child delay to this span's charged total.
+  void charge_child(std::uint64_t us);
+  void set_outcome(ErrorCode code);
+  void set_retries(std::uint32_t n);
+  void set_bytes(std::uint64_t n);
+  void set_label(std::string label);
+  /// Record the span into the ring buffer. Idempotent.
+  void finish();
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Deterministic trace sink: fixed-capacity ring buffer keyed by simulated
+/// time. Everything recorded derives from the SimClock and the workload, so
+/// the JSON export is byte-identical across runs with the same seed.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Spans read start times from this clock; unbound spans start at 0.
+  void bind_clock(sim::SimClockPtr clock);
+  void set_enabled(bool enabled);
+  bool enabled() const;
+  /// Resizes the ring buffer and clears recorded events.
+  void set_capacity(std::size_t capacity);
+
+  /// Open a span. Parent = innermost open span on this tracer.
+  Span span(std::string name, SpanOptions opts = {});
+
+  /// Finished spans currently retained, ordered by id (i.e. open order).
+  std::vector<TraceEvent> events() const;
+  std::uint64_t finished_count() const;
+  std::uint64_t dropped_count() const;
+
+  /// Clears events and the open-span stack; keeps clock, capacity, enabled.
+  void reset();
+
+  /// {"finished":N,"dropped":D,"events":[...]}; deterministic field order.
+  std::string to_json() const;
+
+ private:
+  friend class Span;
+
+  struct OpenSpan {
+    std::uint64_t id = 0;
+    TraceEvent event;
+    bool fanout = false;
+    bool finished = false;
+  };
+
+  // Called by Span. All take the mutex.
+  void finish_span(std::uint64_t id);
+  void set_span_duration(std::uint64_t id, std::uint64_t us);
+  void charge_span(std::uint64_t id, std::uint64_t us);
+  void set_span_retries(std::uint64_t id, std::uint32_t n);
+  void set_span_bytes(std::uint64_t id, std::uint64_t n);
+  void set_span_label(std::uint64_t id, std::string label);
+  void set_span_outcome(std::uint64_t id, ErrorCode code);
+
+  OpenSpan* find_open(std::uint64_t id);  // mu_ held
+
+  mutable std::mutex mu_;
+  sim::SimClockPtr clock_;
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t finished_ = 0;
+  std::vector<OpenSpan> stack_;     // innermost open span at the back
+  std::vector<TraceEvent> ring_;    // ring_[finished_ % capacity_]
+};
+
+/// Process-global tracer used by the instrumented components.
+Tracer& tracer();
+
+/// Sum of exclusive durations (duration - charged) over the serial subtree
+/// of `root_id`, skipping subtrees rooted at kParallel spans (their cost is
+/// already inside the fanout group's composed duration). Reconciles with the
+/// root span's duration when owners follow the charging discipline above.
+std::uint64_t reconcile_exclusive_us(const std::vector<TraceEvent>& events,
+                                     std::uint64_t root_id);
+
+}  // namespace rockfs::obs

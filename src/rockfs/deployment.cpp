@@ -1,5 +1,7 @@
 #include "rockfs/deployment.h"
 
+#include "obs/trace.h"
+
 #include <stdexcept>
 
 #include "common/hex.h"
@@ -15,6 +17,9 @@ Deployment::Deployment(DeploymentOptions options)
       setup_drbg_(to_bytes("rockfs.deployment"), to_bytes(std::to_string(options_.seed))),
       admin_keys_(crypto::generate_keypair(setup_drbg_)) {
   if (options_.agent.f != options_.f) options_.agent.f = options_.f;
+  // Spans across this deployment's stack stamp their start times from the
+  // deployment's virtual clock.
+  obs::tracer().bind_clock(clock_);
 }
 
 RockFsAgent& Deployment::add_user(const std::string& user_id) {

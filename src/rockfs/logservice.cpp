@@ -6,6 +6,8 @@
 #include "common/compress.h"
 #include "common/hex.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rockfs::core {
 
@@ -117,6 +119,7 @@ LogService::LogService(std::string user_id,
 sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_content,
                                       const Bytes& new_content, std::uint64_t version,
                                       const std::string& op) {
+  obs::Span span = obs::tracer().span("log.append");
   sim::SimClock::Micros delay = diff_compute_us(old_content.size(), new_content.size());
 
   // 1. ld_fu: delta between versions, or the whole file when smaller (§3.2),
@@ -139,7 +142,17 @@ sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_
 
   auto upload = storage_->write(log_tokens_, record.data_unit(), payload);
   delay += upload.delay;
-  if (!upload.value.ok()) return {std::move(upload.value), delay};
+  span.charge_child(static_cast<std::uint64_t>(upload.delay));
+  span.set_bytes(payload.size());
+  auto& reg = obs::metrics();
+  reg.counter("log.append.count").add();
+  reg.counter("log.append.bytes").add(payload.size());
+  if (!upload.value.ok()) {
+    span.set_duration(static_cast<std::uint64_t>(delay));
+    span.set_outcome(upload.value.code());
+    reg.counter("log.append.errors").add();
+    return {std::move(upload.value), delay};
+  }
 
   // 5. Seal the metadata into the forward-secure stream.
   record.tag = signer_.append(record.mac_payload());
@@ -147,14 +160,34 @@ sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_
   // 6. lm_fu and the refreshed aggregates go to the coordination service;
   // the two tuple operations are processed in parallel by the service
   // (§6.1 optimization (1)).
-  auto meta = coordination_->out(record.to_tuple());
-  auto agg = coordination_->replace(
-      coord::Template::of({kAggregateTag, user_id_, "*", "*", "*"}),
-      {kAggregateTag, user_id_, hex_encode(signer_.aggregate_a()),
-       hex_encode(signer_.aggregate_b()), std::to_string(signer_.count())});
-  delay += std::max(meta.delay, agg.delay);
-  if (!meta.value.ok()) return {std::move(meta.value), delay};
-  if (!agg.value.ok()) return {Status{agg.value.error()}, delay};
+  sim::SimClock::Micros coord_delay = 0;
+  Status meta_status;
+  Status agg_status;
+  {
+    obs::Span group = obs::tracer().span("log.coord", {.fanout = true});
+    auto meta = coordination_->out(record.to_tuple());
+    auto agg = coordination_->replace(
+        coord::Template::of({kAggregateTag, user_id_, "*", "*", "*"}),
+        {kAggregateTag, user_id_, hex_encode(signer_.aggregate_a()),
+         hex_encode(signer_.aggregate_b()), std::to_string(signer_.count())});
+    coord_delay = std::max(meta.delay, agg.delay);
+    group.set_duration(static_cast<std::uint64_t>(coord_delay));
+    meta_status = std::move(meta.value);
+    if (!agg.value.ok()) agg_status = Status{agg.value.error()};
+  }
+  delay += coord_delay;
+  span.charge_child(static_cast<std::uint64_t>(coord_delay));
+  span.set_duration(static_cast<std::uint64_t>(delay));
+  if (!meta_status.ok()) {
+    span.set_outcome(meta_status.code());
+    reg.counter("log.append.errors").add();
+    return {std::move(meta_status), delay};
+  }
+  if (!agg_status.ok()) {
+    span.set_outcome(agg_status.code());
+    reg.counter("log.append.errors").add();
+    return {std::move(agg_status), delay};
+  }
   return {Status::Ok(), delay};
 }
 

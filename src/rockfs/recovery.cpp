@@ -1,5 +1,8 @@
 #include "rockfs/recovery.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 #include <algorithm>
 
 #include "common/logging.h"
@@ -104,16 +107,23 @@ RecoveryService::SnapshotBaseline RecoveryService::load_snapshot(
 }
 
 Result<LogAudit> RecoveryService::audit_log() {
+  obs::Span span = obs::tracer().span("recovery.audit");
+  obs::metrics().counter("recovery.audits").add();
   sim::SimClock::Micros delay = 0;
 
   auto records = read_log_records(*coordination_, user_id_);
   delay += records.delay;
+  span.charge_child(static_cast<std::uint64_t>(records.delay));
   if (!records.value.ok()) {
     clock_->advance_us(delay);
+    span.set_duration(static_cast<std::uint64_t>(delay));
+    span.set_outcome(records.value.code());
     return Error{records.value.error()};
   }
   auto aggregates = read_aggregates(*coordination_, user_id_);
   delay += aggregates.delay;
+  span.charge_child(static_cast<std::uint64_t>(aggregates.delay));
+  span.set_duration(static_cast<std::uint64_t>(delay));
   clock_->advance_us(delay);
 
   LogAudit audit;
@@ -258,6 +268,8 @@ Result<FileRecovery> RecoveryService::recover_one(const LogAudit& audit,
 
 Result<FileRecovery> RecoveryService::recover_file(const std::string& path,
                                                    const std::set<std::uint64_t>& malicious) {
+  obs::Span span = obs::tracer().span("recovery.recover_file");
+  span.set_label(path);
   const auto start = clock_->now_us();
   auto audit = audit_log();
   if (!audit.ok()) return Error{audit.error()};
@@ -269,11 +281,17 @@ Result<FileRecovery> RecoveryService::recover_file(const std::string& path,
   auto result = recover_one(*audit, path, malicious, &delay);
   clock_->advance_us(delay);
   last_recovery_us_ = clock_->now_us() - start;
+  span.set_duration(static_cast<std::uint64_t>(last_recovery_us_));
+  obs::metrics().counter("recovery.files_recovered").add();
+  obs::metrics().histogram("recovery.mttr_us").record(
+      static_cast<std::uint64_t>(last_recovery_us_));
   return result;
 }
 
 Result<FileRecovery> RecoveryService::recover_file_at(const std::string& path,
                                                       std::int64_t as_of_us) {
+  obs::Span span = obs::tracer().span("recovery.recover_file_at");
+  span.set_label(path);
   const auto start = clock_->now_us();
   auto audit = audit_log();
   if (!audit.ok()) return Error{audit.error()};
@@ -292,6 +310,10 @@ Result<FileRecovery> RecoveryService::recover_file_at(const std::string& path,
                             /*use_snapshots=*/false);
   clock_->advance_us(delay);
   last_recovery_us_ = clock_->now_us() - start;
+  span.set_duration(static_cast<std::uint64_t>(last_recovery_us_));
+  obs::metrics().counter("recovery.files_recovered").add();
+  obs::metrics().histogram("recovery.mttr_us").record(
+      static_cast<std::uint64_t>(last_recovery_us_));
   return result;
 }
 
@@ -367,6 +389,7 @@ Result<std::vector<RecoveryService::CompactionReport>> RecoveryService::compact_
 
 Result<std::vector<FileRecovery>> RecoveryService::recover_all(
     const std::set<std::uint64_t>& malicious, const std::vector<std::string>& priority) {
+  obs::Span span = obs::tracer().span("recovery.recover_all");
   const auto start = clock_->now_us();
   auto audit = audit_log();
   if (!audit.ok()) return Error{audit.error()};
@@ -398,6 +421,10 @@ Result<std::vector<FileRecovery>> RecoveryService::recover_all(
   }
   clock_->advance_us(delay);
   last_recovery_us_ = clock_->now_us() - start;
+  span.set_duration(static_cast<std::uint64_t>(last_recovery_us_));
+  obs::metrics().counter("recovery.files_recovered").add(results.size());
+  obs::metrics().histogram("recovery.mttr_us").record(
+      static_cast<std::uint64_t>(last_recovery_us_));
   return results;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace rockfs::scfs {
 
@@ -61,7 +62,13 @@ Scfs::Scfs(std::shared_ptr<depsky::DepSkyClient> storage,
       coordination_(std::move(coordination)),
       clock_(std::move(clock)),
       options_(std::move(options)),
-      transform_(std::make_shared<PassthroughTransform>()) {}
+      transform_(std::make_shared<PassthroughTransform>()) {
+  auto& reg = obs::metrics();
+  close_count_ = &reg.counter("scfs.close.count");
+  close_bytes_ = &reg.counter("scfs.close.bytes");
+  close_errors_ = &reg.counter("scfs.close.errors");
+  close_delay_us_ = &reg.histogram("scfs.close.delay_us");
+}
 
 void Scfs::set_cache_transform(std::shared_ptr<CacheTransform> transform) {
   transform_ = std::move(transform);
@@ -228,13 +235,29 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
 
   const sim::SimClock::Micros start_us = clock_->now_us();
 
+  // Root span of the write path; every layer below (log append, DepSky
+  // write, per-cloud puts, coordination rounds) nests under it. The span
+  // follows the charging discipline in obs/trace.h so its subtree's
+  // exclusive times sum back to the headline close() latency.
+  obs::Span span = obs::tracer().span("scfs.close");
+  const auto observe = [&](sim::SimClock::Micros delay, ErrorCode code) {
+    span.set_duration(static_cast<std::uint64_t>(delay));
+    span.set_outcome(code);
+    close_count_->add();
+    if (code != ErrorCode::kOk) close_errors_->add();
+    close_delay_us_->record(static_cast<std::uint64_t>(delay));
+  };
+
   if (!of.dirty) {
     const auto local = local_cost(0);
     clock_->advance_us(local);
+    observe(local, ErrorCode::kOk);
     return {Status::Ok(), local};
   }
 
   const std::uint64_t new_version = of.version + 1;
+  span.set_bytes(of.content.size());
+  close_bytes_->add(of.content.size());
 
   // Local work: agent bookkeeping + write-through of the (transformed) cache.
   sim::SimClock::Micros local = local_cost(of.content.size());
@@ -244,10 +267,18 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
 
   // The upload pipeline: file upload and the interceptor's pipeline (RockFS
   // logging) run in parallel; the metadata tuple update must come after both
-  // (§2.5 ordering).
+  // (§2.5 ordering). The fanout group's duration is the composed pipeline
+  // delay; the overlapping children inside it are excluded from exclusive-
+  // time sums.
+  obs::Span pipeline_span = obs::tracer().span("scfs.upload_pipeline", {.fanout = true});
   auto file_up = storage_->write(storage_tokens_, unit_for(of.path), of.content);
   if (!file_up.value.ok()) {
+    pipeline_span.set_duration(static_cast<std::uint64_t>(file_up.delay));
+    pipeline_span.set_outcome(file_up.value.code());
+    pipeline_span.finish();
+    span.charge_child(static_cast<std::uint64_t>(file_up.delay));
     clock_->advance_us(local + file_up.delay);
+    observe(local + file_up.delay, file_up.value.code());
     return {Status{file_up.value.error()}, local + file_up.delay};
   }
   sim::SimClock::Micros pipeline = file_up.delay;
@@ -262,6 +293,9 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
                static_cast<sim::SimClock::Micros>(options_.uplink_contention *
                                                   static_cast<double>(shorter));
   }
+  pipeline_span.set_duration(static_cast<std::uint64_t>(pipeline));
+  pipeline_span.finish();
+  span.charge_child(static_cast<std::uint64_t>(pipeline));
 
   FileStat s;
   s.path = of.path;
@@ -270,8 +304,10 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   s.owner = options_.user_id;
   s.modified_us = clock_->now_us();
   auto meta = coordination_->replace(inode_pattern(of.path), inode_tuple(s));
+  span.charge_child(static_cast<std::uint64_t>(meta.delay));
   if (!meta.value.ok()) {
     clock_->advance_us(local + pipeline + meta.delay);
+    observe(local + pipeline + meta.delay, meta.value.code());
     return {Status{meta.value.error()}, local + pipeline + meta.delay};
   }
   const sim::SimClock::Micros recorded = pipeline + meta.delay;
@@ -280,21 +316,31 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
     // Blocking: the caller waits for upload + metadata, plus a final
     // confirmation round with the coordination service (sync barrier).
     auto barrier = coordination_->count(inode_pattern(of.path));
+    span.charge_child(static_cast<std::uint64_t>(barrier.delay));
     const auto total = local + recorded + barrier.delay;
     clock_->advance_us(total);
-    if (!interceptor_status.ok()) return {std::move(interceptor_status), total};
+    if (!interceptor_status.ok()) {
+      observe(total, interceptor_status.code());
+      return {std::move(interceptor_status), total};
+    }
+    observe(total, ErrorCode::kOk);
     return {Status::Ok(), total};
   }
 
   // Non-blocking: the caller only pays the local cost now; the upload joins
   // the background pipeline, which drains one transfer at a time (the client
   // uplink is shared). The reported delay is the Fig. 5 metric: when the
-  // coordination service has recorded this operation.
+  // coordination service has recorded this operation. The span's exclusive
+  // time therefore covers local work plus queueing behind earlier uploads.
   clock_->advance_us(local);
   const sim::SimClock::Micros begin = std::max(clock_->now_us(), bg_complete_us_);
   bg_complete_us_ = begin + recorded;
   const auto reported = bg_complete_us_ - start_us;
-  if (!interceptor_status.ok()) return {std::move(interceptor_status), reported};
+  if (!interceptor_status.ok()) {
+    observe(reported, interceptor_status.code());
+    return {std::move(interceptor_status), reported};
+  }
+  observe(reported, ErrorCode::kOk);
   return {Status::Ok(), reported};
 }
 

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "coord/service.h"
 #include "depsky/client.h"
+#include "obs/metrics.h"
 #include "sim/timed.h"
 
 namespace rockfs::scfs {
@@ -172,6 +173,12 @@ class Scfs {
   std::map<std::string, CacheEntry> cache_;
   Fd next_fd_ = 3;
   sim::SimClock::Micros bg_complete_us_ = 0;
+
+  // Cached registry handles for the close() hot path.
+  obs::Counter* close_count_ = nullptr;
+  obs::Counter* close_bytes_ = nullptr;
+  obs::Counter* close_errors_ = nullptr;
+  obs::Histogram* close_delay_us_ = nullptr;
 };
 
 }  // namespace rockfs::scfs

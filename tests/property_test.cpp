@@ -7,6 +7,7 @@
 #include <string>
 #include <tuple>
 
+#include "cloud/provider.h"
 #include "common/rng.h"
 #include "crypto/aes.h"
 #include "crypto/drbg.h"
@@ -14,9 +15,11 @@
 #include "crypto/secp256k1.h"
 #include "crypto/sha256.h"
 #include "crypto/signature.h"
+#include "depsky/client.h"
 #include "diff/binary_diff.h"
 #include "erasure/reed_solomon.h"
 #include "fssagg/fssagg.h"
+#include "obs/metrics.h"
 #include "secretshare/pvss.h"
 #include "secretshare/shamir.h"
 
@@ -336,6 +339,80 @@ TEST_P(ScalarProperty, FieldAxiomsModN) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScalarProperty, ::testing::Range(1, 6));
+
+// ------------------------------------- DepSky byte-conservation property
+//
+// For every write, the bytes the client reports uploading in the data phase
+// must be exactly `encoded blob size × acked clouds`: the per-cloud
+// `depsky.put.data.{bytes,acks}` counters and the independently computed
+// DepSkyClient::encoded_blob_size() have to agree, ack by ack, even under
+// chaos. (Metadata-phase puts are excluded by construction.)
+
+using ConservationParam = std::tuple<int /*protocol: 0=A, 1=CA*/, int /*seed*/>;
+
+class PutBytesConservation : public ::testing::TestWithParam<ConservationParam> {};
+
+TEST_P(PutBytesConservation, DataPhaseBytesEqualBlobSizeTimesAcks) {
+  const auto [proto, seed] = GetParam();
+  auto clock = std::make_shared<sim::SimClock>();
+  auto clouds = cloud::make_provider_fleet(clock, 4, static_cast<std::uint64_t>(seed));
+  crypto::Drbg drbg(to_bytes("conservation"), to_bytes(std::to_string(seed)));
+  depsky::DepSkyConfig cfg;
+  cfg.clouds = clouds;
+  cfg.f = 1;
+  cfg.protocol = proto == 0 ? depsky::Protocol::kA : depsky::Protocol::kCA;
+  cfg.writer = crypto::generate_keypair(drbg);
+  std::vector<cloud::AccessToken> tokens;
+  for (auto& c : clouds) {
+    tokens.push_back(c->issue_token("alice", "fs", cloud::TokenScope::kFiles));
+  }
+  depsky::DepSkyClient client(std::move(cfg), to_bytes("conservation-seed"));
+
+  // Chaos on one cloud varies the ack pattern across writes (clouds 0-2 stay
+  // healthy, so the n - f = 3 quorum is always reachable and every write
+  // succeeds; cloud 3 acks only when its retries win).
+  clouds[3]->faults().set_transient_error_prob(0.5);
+
+  auto& reg = obs::metrics();
+  auto snapshot = [&reg, &clouds](const char* name) {
+    std::vector<std::uint64_t> out;
+    for (const auto& c : clouds) {
+      out.push_back(reg.counter_value(obs::metric_key(name, c->name())));
+    }
+    return out;
+  };
+
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const std::vector<std::size_t> sizes = {1, 100, 4'096, 65'536, 10'000};
+  for (std::size_t op = 0; op < sizes.size(); ++op) {
+    const auto bytes_before = snapshot("depsky.put.data.bytes");
+    const auto acks_before = snapshot("depsky.put.data.acks");
+    const std::string unit = "files/f" + std::to_string(op % 2);
+    auto w = client.write(tokens, unit, rng.next_bytes(sizes[op]));
+    ASSERT_TRUE(w.value.ok()) << w.value.error().message;
+    const auto bytes_after = snapshot("depsky.put.data.bytes");
+    const auto acks_after = snapshot("depsky.put.data.acks");
+
+    const std::uint64_t blob = client.encoded_blob_size(sizes[op]);
+    std::uint64_t total_bytes = 0;
+    std::uint64_t total_acks = 0;
+    for (std::size_t i = 0; i < clouds.size(); ++i) {
+      const std::uint64_t db = bytes_after[i] - bytes_before[i];
+      const std::uint64_t da = acks_after[i] - acks_before[i];
+      // Per-cloud: each ack carries exactly one encoded blob.
+      EXPECT_EQ(db, blob * da) << "cloud " << i << " op " << op;
+      total_bytes += db;
+      total_acks += da;
+    }
+    // The write needs at least a quorum (n - f = 3) of data-phase acks.
+    EXPECT_GE(total_acks, clouds.size() - 1);
+    EXPECT_EQ(total_bytes, blob * total_acks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PutBytesConservation,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Range(1, 4)));
 
 }  // namespace
 }  // namespace rockfs

@@ -13,6 +13,7 @@
 #include "common/retry.h"
 #include "depsky/client.h"
 #include "depsky/health.h"
+#include "obs/metrics.h"
 #include "sim/faults.h"
 
 namespace rockfs {
@@ -494,6 +495,54 @@ TEST_F(DepSkyResilienceTest, WriteFailureNamesTheFailingClouds) {
   EXPECT_NE(msg.find("2/3 acks"), std::string::npos) << msg;
   EXPECT_NE(msg.find("cloud-0=unavailable"), std::string::npos) << msg;
   EXPECT_NE(msg.find("cloud-1=unavailable"), std::string::npos) << msg;
+}
+
+// -------------------------------------------------- metrics cross-checks
+//
+// The client mirrors its resilience bookkeeping into the global metrics
+// registry; these tests pin the two views together. The registry is global
+// and cumulative, so each test zeroes it right after building its client
+// (instrument handles stay valid across reset()).
+
+TEST_F(DepSkyResilienceTest, RegistryMirrorsBreakerOpens) {
+  auto client = make_client();
+  obs::metrics().reset();
+  clouds[2]->set_available(false);
+  ASSERT_TRUE(client.write(tokens, "files/f", to_bytes("v1")).value.ok());
+  const auto opened = obs::metrics().counter_value("depsky.breaker.opened{cloud-2}");
+  EXPECT_GT(opened, 0u);
+  EXPECT_EQ(opened, client.cloud_health(2).times_opened());
+  // The healthy clouds' breakers never tripped.
+  EXPECT_EQ(obs::metrics().counter_value("depsky.breaker.opened{cloud-0}"), 0u);
+}
+
+TEST_F(DepSkyResilienceTest, RegistryMirrorsRetryCounts) {
+  auto client = make_client();
+  obs::metrics().reset();
+  clouds[1]->faults().set_transient_error_prob(0.55);
+  ASSERT_TRUE(client.write(tokens, "files/f", to_bytes("retry me")).value.ok());
+  ASSERT_TRUE(client.read(tokens, "files/f").value.ok());
+  const auto stats = client.resilience_stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(obs::metrics().counter_value("depsky.retries"), stats.retries);
+}
+
+TEST_F(DepSkyResilienceTest, RegistryMirrorsSkipsAndForcedProbes) {
+  auto client = make_client();
+  obs::metrics().reset();
+  // Open cloud 2's breaker, then make it the only path to a quorum: the
+  // client both skips it (while others suffice) and later conscripts it.
+  clouds[2]->set_available(false);
+  ASSERT_TRUE(client.write(tokens, "files/f", to_bytes("data")).value.ok());
+  ASSERT_TRUE(client.write(tokens, "files/f", to_bytes("data2")).value.ok());
+  clouds[2]->set_available(true);
+  clouds[0]->set_available(false);
+  ASSERT_TRUE(client.read(tokens, "files/f").value.ok());
+  const auto stats = client.resilience_stats();
+  EXPECT_GT(stats.breaker_skips, 0u);
+  EXPECT_GT(stats.forced_probes, 0u);
+  EXPECT_EQ(obs::metrics().counter_value("depsky.breaker.skips"), stats.breaker_skips);
+  EXPECT_EQ(obs::metrics().counter_value("depsky.forced_probes"), stats.forced_probes);
 }
 
 TEST_F(DepSkyResilienceTest, DeadlineBoundsTimePerOperation) {
