@@ -15,12 +15,19 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kCorrupted: return "corrupted";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCrashed: return "crashed";
+    case ErrorCode::kPartialCommit: return "partial_commit";
   }
   return "unknown";
 }
 
 bool is_retryable(ErrorCode c) {
-  return c == ErrorCode::kUnavailable || c == ErrorCode::kTimeout;
+  // kPartialCommit is retryable by design: the payload half of the log entry
+  // is durable, the writer's signer has NOT evolved, and the commit path is
+  // idempotent (seq-keyed replace), so re-running the append either adopts
+  // the durable payload or finishes the metadata commit.
+  return c == ErrorCode::kUnavailable || c == ErrorCode::kTimeout ||
+         c == ErrorCode::kPartialCommit;
 }
 
 }  // namespace rockfs

@@ -23,6 +23,8 @@ enum class ErrorCode {
   kCorrupted,         // stored data failed to decode
   kInternal,
   kTimeout,           // operation exceeded its (simulated) deadline
+  kCrashed,           // client process died mid-operation (sim::ClientCrash)
+  kPartialCommit,     // durable payload, uncommitted metadata; retry is safe
 };
 
 /// Human-readable name of an ErrorCode ("not_found", "integrity", ...).

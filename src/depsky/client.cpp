@@ -565,14 +565,17 @@ sim::Timed<Result<DepSkyClient::RepairReport>> DepSkyClient::repair(
       to_repair.push_back(i);
     }
   }
-  if (to_repair.empty()) return {report, total_delay};
-
   // Rebuild the per-cloud blobs. Protocol A: any valid replica. Protocol CA:
   // the Reed-Solomon shard is re-derived by repair_shard and the Shamir key
   // share by Lagrange interpolation at the missing x — both are fully
-  // determined by any k surviving shares, no re-dealing needed.
+  // determined by any k surviving shares, no re-dealing needed. When every
+  // share is healthy this whole block is a no-op, but the metadata
+  // anti-entropy pass below still runs: an entry can be degraded purely by
+  // lost metadata replicas.
   std::vector<Bytes> rebuilt(n());
-  if (config_.protocol == Protocol::kA) {
+  if (to_repair.empty()) {
+    // nothing to rebuild
+  } else if (config_.protocol == Protocol::kA) {
     for (std::size_t i = 0; i < n(); ++i) {
       if (!states[i].valid) continue;
       for (const std::size_t j : to_repair) rebuilt[j] = states[i].blob;
@@ -628,7 +631,98 @@ sim::Timed<Result<DepSkyClient::RepairReport>> DepSkyClient::repair(
     group.set_duration(static_cast<std::uint64_t>(sim::parallel_delay(put_delays)));
   }
   total_delay += sim::parallel_delay(put_delays);
+
+  // Metadata anti-entropy: the quorum gave us the authoritative (signed)
+  // metadata; re-seed any cloud that lost its replica. The signature travels
+  // with the bytes, so re-putting the serialized copy preserves authenticity.
+  const Bytes meta_bytes = meta.serialize();
+  std::vector<sim::SimClock::Micros> meta_delays;
+  {
+    obs::Span group = obs::tracer().span("depsky.repair_meta", {.fanout = true});
+    for (std::size_t i = 0; i < n(); ++i) {
+      auto got = config_.clouds[i]->get(tokens[i], metadata_key(unit));
+      sim::SimClock::Micros cloud_delay = got.delay;
+      bool replica_ok = false;
+      if (got.value.ok()) {
+        auto m = UnitMetadata::deserialize(*got.value);
+        replica_ok = m.ok() && m->unit == unit && m->version >= meta.version &&
+                     trusted(*m) && m->share_digests.size() == n();
+      }
+      if (!replica_ok) {
+        auto put = config_.clouds[i]->put(tokens[i], metadata_key(unit), meta_bytes);
+        cloud_delay += put.delay;
+        if (put.value.ok()) {
+          ++report.meta_repaired;
+        } else {
+          ++report.meta_unrepairable;
+        }
+      }
+      meta_delays.push_back(cloud_delay);
+    }
+    group.set_duration(static_cast<std::uint64_t>(sim::parallel_delay(meta_delays)));
+  }
+  total_delay += sim::parallel_delay(meta_delays);
   return {report, total_delay};
+}
+
+std::size_t DepSkyClient::ShareInventory::valid_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < share_valid.size(); ++i) {
+    if (share_valid[i] || share_archived[i]) ++count;
+  }
+  return count;
+}
+
+sim::Timed<Result<DepSkyClient::ShareInventory>> DepSkyClient::share_inventory(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
+  if (tokens.size() != n()) {
+    return {Error{ErrorCode::kInvalidArgument, "depsky inventory: one token per cloud"},
+            0};
+  }
+  sim::SimClock::Micros total_delay = 0;
+  auto head = fetch_metadata(tokens, unit);
+  total_delay += head.delay;
+  if (!head.metadata.ok()) return {Error{head.metadata.error()}, total_delay};
+  const UnitMetadata& meta = *head.metadata;
+
+  ShareInventory inv;
+  inv.version = meta.version;
+  inv.share_valid.assign(n(), false);
+  inv.share_present.assign(n(), false);
+  inv.share_archived.assign(n(), false);
+
+  // Direct per-cloud probes, deliberately bypassing the circuit breakers: a
+  // scrub wants ground truth about every cloud, not fast availability.
+  std::vector<sim::SimClock::Micros> probe_delays;
+  {
+    obs::Span group = obs::tracer().span("depsky.inventory", {.fanout = true});
+    for (std::size_t i = 0; i < n(); ++i) {
+      const std::string key = share_key(unit, meta.version, i);
+      auto got = config_.clouds[i]->get(tokens[i], key);
+      sim::SimClock::Micros cloud_delay = got.delay;
+      if (got.value.ok()) {
+        inv.share_present[i] = true;
+        if (ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) {
+          inv.share_valid[i] = true;
+        }
+      } else if (config_.clouds[i]->archived(key)) {
+        inv.share_archived[i] = true;
+      }
+      auto mg = config_.clouds[i]->get(tokens[i], metadata_key(unit));
+      cloud_delay += mg.delay;
+      if (mg.value.ok()) {
+        auto m = UnitMetadata::deserialize(*mg.value);
+        if (m.ok() && m->unit == unit && m->version >= meta.version && trusted(*m) &&
+            m->share_digests.size() == n()) {
+          ++inv.meta_replicas;
+        }
+      }
+      probe_delays.push_back(cloud_delay);
+    }
+    group.set_duration(static_cast<std::uint64_t>(sim::parallel_delay(probe_delays)));
+  }
+  total_delay += sim::parallel_delay(probe_delays);
+  return {std::move(inv), total_delay};
 }
 
 sim::Timed<Status> DepSkyClient::remove(const std::vector<cloud::AccessToken>& tokens,

@@ -86,9 +86,29 @@ class DepSkyClient {
     std::size_t shares_ok = 0;
     std::size_t shares_repaired = 0;
     std::size_t shares_unrepairable = 0;  // corrupt but not overwritable
+    std::size_t meta_repaired = 0;        // metadata replicas re-created
+    std::size_t meta_unrepairable = 0;    // metadata re-put denied
   };
   sim::Timed<Result<RepairReport>> repair(const std::vector<cloud::AccessToken>& tokens,
                                           const std::string& unit);
+
+  /// Per-cloud survivorship of `unit`'s current version, cheaper than a full
+  /// read: which clouds hold a digest-valid hot share, which moved it to
+  /// cold storage, and how many metadata replicas survive. The anti-entropy
+  /// scrubber (rockfs/scrub.h) compares valid_count() against k + margin to
+  /// decide degradation without downloading payload-sized data.
+  struct ShareInventory {
+    std::uint64_t version = 0;
+    std::size_t meta_replicas = 0;     // clouds holding valid current metadata
+    std::vector<bool> share_valid;     // hot object matching the meta digest
+    std::vector<bool> share_present;   // some hot object exists (maybe corrupt)
+    std::vector<bool> share_archived;  // share moved to cold storage
+    /// Surviving shares: digest-valid hot plus archived (cold objects are
+    /// immutable once moved, so they count as redundancy).
+    std::size_t valid_count() const;
+  };
+  sim::Timed<Result<ShareInventory>> share_inventory(
+      const std::vector<cloud::AccessToken>& tokens, const std::string& unit);
 
   // ---- resilience introspection ----
 

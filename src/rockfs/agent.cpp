@@ -56,13 +56,24 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
     fs_->set_cache_transform(std::make_shared<SecureCacheTransform>(session_keys_, drbg_));
   }
 
+  fs_->set_crash_schedule(options_.crash);
+
   if (options_.enable_logging) {
     // Resume the chain where a previous session left off (the aggregates
-    // tuple records how far the keys have evolved).
+    // tuple records how far the keys have evolved). With the journal on,
+    // this is also where a crashed previous session is repaired: pending
+    // intents are replayed before the first new append.
     log_ = make_resumed_log_service(
         user_id_, storage_, keystore_->log_tokens, coordination_, clock_,
-        fssagg::FssAggKeys{keystore_->fssagg_key_a, keystore_->fssagg_key_b});
+        fssagg::FssAggKeys{keystore_->fssagg_key_a, keystore_->fssagg_key_b},
+        LogServiceOptions{options_.enable_journal, options_.crash});
     log_->set_compression(options_.compress_log);
+    fs_->set_close_intent_hook(
+        [this](const std::string& path, const Bytes& old_content, const Bytes& new_content,
+               std::uint64_t version) {
+          return log_->journal_intent(path, old_content, new_content, version,
+                                      version == 1 ? "create" : "update");
+        });
     fs_->set_close_interceptor(
         [this](const std::string& path, const Bytes& old_content, const Bytes& new_content,
                std::uint64_t version) {
@@ -87,6 +98,17 @@ void RockFsAgent::logout() {
 namespace {
 Status not_logged_in() { return {ErrorCode::kPermissionDenied, "agent: not logged in"}; }
 }  // namespace
+
+Status RockFsAgent::crash_landing(const sim::ClientCrash& crash) {
+  // The simulated client process died mid-operation: everything in RAM —
+  // keystore, signer state, open files, cache — is gone. The next login
+  // replays the intent journal and repairs whatever the crash left behind.
+  LOG_WARN("agent " << user_id_ << " crashed at "
+                    << sim::crash_point_name(crash.point));
+  logout();
+  return Status{ErrorCode::kCrashed,
+                std::string("client crashed at ") + sim::crash_point_name(crash.point)};
+}
 
 scfs::Scfs& RockFsAgent::fs() {
   if (!fs_) throw std::logic_error("RockFsAgent::fs: not logged in");
@@ -132,12 +154,20 @@ Status RockFsAgent::truncate(Fd fd, std::size_t size) {
 
 Status RockFsAgent::close(Fd fd) {
   if (!fs_) return not_logged_in();
-  return fs_->close(fd);
+  try {
+    return fs_->close(fd);
+  } catch (const sim::ClientCrash& crash) {
+    return crash_landing(crash);
+  }
 }
 
 sim::Timed<Status> RockFsAgent::close_timed(Fd fd) {
   if (!fs_) return {not_logged_in(), 0};
-  return fs_->close_timed(fd);
+  try {
+    return fs_->close_timed(fd);
+  } catch (const sim::ClientCrash& crash) {
+    return {crash_landing(crash), 0};
+  }
 }
 
 Status RockFsAgent::unlink(const std::string& path) {
@@ -152,9 +182,13 @@ Status RockFsAgent::unlink(const std::string& path) {
   auto st = fs_->unlink(path);
   if (!st.ok()) return st;
   if (options_.enable_logging && log_) {
-    auto logged = log_->append(path, old_content, {}, 0, "delete");
-    clock_->advance_us(logged.delay);
-    if (!logged.value.ok()) return logged.value;
+    try {
+      auto logged = log_->append(path, old_content, {}, 0, "delete");
+      clock_->advance_us(logged.delay);
+      if (!logged.value.ok()) return logged.value;
+    } catch (const sim::ClientCrash& crash) {
+      return crash_landing(crash);
+    }
   }
   return {};
 }
@@ -180,7 +214,11 @@ Status RockFsAgent::write_file(const std::string& path, BytesView content) {
   if (!fd.ok()) return Status{fd.error()};
   if (auto st = fs_->truncate(*fd, 0); !st.ok()) return st;
   if (auto st = fs_->write(*fd, 0, content); !st.ok()) return st;
-  return fs_->close(*fd);
+  try {
+    return fs_->close(*fd);
+  } catch (const sim::ClientCrash& crash) {
+    return crash_landing(crash);
+  }
 }
 
 Result<Bytes> RockFsAgent::read_file(const std::string& path) {

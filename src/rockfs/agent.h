@@ -32,6 +32,14 @@ struct AgentOptions {
   /// Additional DepSky writers this agent trusts (the administrator's key,
   /// so that recovered files verify).
   std::vector<Bytes> trusted_writers;
+  /// Persist write-ahead intents before each close pipeline and replay them
+  /// at login, so a client crash anywhere along the close path is repaired
+  /// on the next session (journal.h).
+  bool enable_journal = true;
+  /// Crash schedule for fault-injection tests: crash points along the close
+  /// path consult it, and a fired crash tears the session down exactly like
+  /// a dead client process (the API call reports kCrashed).
+  sim::CrashSchedulePtr crash;
 };
 
 /// Where the agent finds PVSS share-holder keys at login time. The device
@@ -90,6 +98,10 @@ class RockFsAgent {
   const AgentOptions& options() const noexcept { return options_; }
 
  private:
+  /// Turns a fired crash point into the dead-client outcome: the session is
+  /// torn down (all in-RAM state dropped) and the call reports kCrashed.
+  Status crash_landing(const sim::ClientCrash& crash);
+
   std::string user_id_;
   std::vector<cloud::CloudProviderPtr> clouds_;
   std::shared_ptr<coord::CoordinationService> coordination_;

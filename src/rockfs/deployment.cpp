@@ -15,7 +15,8 @@ Deployment::Deployment(DeploymentOptions options)
       coordination_(std::make_shared<coord::CoordinationService>(clock_, options_.f,
                                                                  options_.seed ^ 0xC0C0)),
       setup_drbg_(to_bytes("rockfs.deployment"), to_bytes(std::to_string(options_.seed))),
-      admin_keys_(crypto::generate_keypair(setup_drbg_)) {
+      admin_keys_(crypto::generate_keypair(setup_drbg_)),
+      crash_(std::make_shared<sim::CrashSchedule>()) {
   if (options_.agent.f != options_.f) options_.agent.f = options_.f;
   // Spans across this deployment's stack stamp their start times from the
   // deployment's virtual clock.
@@ -79,6 +80,7 @@ RockFsAgent& Deployment::add_user(const std::string& user_id, const AgentOptions
 
   AgentOptions agent_options = options;
   agent_options.trusted_writers.push_back(crypto::point_encode(admin_keys_.public_key));
+  if (!agent_options.crash) agent_options.crash = crash_;
   auto agent = std::make_unique<RockFsAgent>(user_id, clouds_, coordination_, clock_,
                                              agent_options, us.holder_pubs,
                                              /*threshold=*/2);
@@ -151,8 +153,26 @@ RecoveryService Deployment::make_recovery_service(const std::string& user_id) {
   storage_cfg.trusted_writers.push_back(crypto::point_encode(us.user_public_key));
   auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
                                                         setup_drbg_.generate(32));
-  return RecoveryService(user_id, std::move(cfg), std::move(storage), coordination_,
-                         clock_);
+  RecoveryService service(user_id, std::move(cfg), std::move(storage), coordination_,
+                          clock_);
+  service.set_crash_schedule(crash_);
+  return service;
+}
+
+LogScrubber Deployment::make_scrubber(const std::string& user_id, ScrubOptions options) {
+  auto& us = secrets(user_id);
+  depsky::DepSkyConfig storage_cfg;
+  storage_cfg.clouds = clouds_;
+  storage_cfg.f = options_.f;
+  storage_cfg.protocol = options_.agent.protocol;
+  storage_cfg.writer = admin_keys_;
+  // The scrubber reads (and repairs) units written by the user and by the
+  // admin chain: trust both signers.
+  storage_cfg.trusted_writers.push_back(crypto::point_encode(us.user_public_key));
+  auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
+                                                        setup_drbg_.generate(32));
+  return LogScrubber(user_id, std::move(storage), admin_tokens(), coordination_, clock_,
+                     options);
 }
 
 }  // namespace rockfs::core

@@ -13,6 +13,7 @@
 
 #include "rockfs/agent.h"
 #include "rockfs/recovery.h"
+#include "rockfs/scrub.h"
 
 namespace rockfs::core {
 
@@ -42,8 +43,19 @@ class Deployment {
 
   RockFsAgent& agent(const std::string& user_id);
 
-  /// Administrator-side recovery service for a user's files.
+  /// Administrator-side recovery service for a user's files. Shares the
+  /// deployment's crash schedule (crash_schedule()) for fault injection.
   RecoveryService make_recovery_service(const std::string& user_id);
+
+  /// Administrator-side anti-entropy scrubber over a user's log chains
+  /// (scrub.h): detects entries whose share redundancy decayed and restores
+  /// them to full n-share redundancy.
+  LogScrubber make_scrubber(const std::string& user_id, ScrubOptions options = {});
+
+  /// Deployment-wide crash schedule: agents created by add_user (unless
+  /// their AgentOptions carry their own) and recovery services consult it.
+  /// Tests arm one crash point on it and drive the workload.
+  const sim::CrashSchedulePtr& crash_schedule() const noexcept { return crash_; }
 
   // ---- client-device modelling (for the T2/T3 attack scenarios) ----
 
@@ -78,6 +90,7 @@ class Deployment {
   std::shared_ptr<coord::CoordinationService> coordination_;
   crypto::Drbg setup_drbg_;
   crypto::KeyPair admin_keys_;  // PU_A/PR_A: signs recovered file versions
+  sim::CrashSchedulePtr crash_;
   std::map<std::string, std::unique_ptr<RockFsAgent>> agents_;
   std::map<std::string, UserSecrets> secrets_;
 };

@@ -5,21 +5,27 @@
 
 #include "common/compress.h"
 #include "common/hex.h"
+#include "common/logging.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rockfs/journal.h"
 
 namespace rockfs::core {
 
 namespace {
 constexpr const char* kRecordTag = "rocklog";
 constexpr const char* kAggregateTag = "rockagg";
+}  // namespace
 
-std::string pad_seq(std::uint64_t seq) {
+std::string padded_seq(std::uint64_t seq) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(seq));
   return buf;
 }
+
+namespace {
+std::string pad_seq(std::uint64_t seq) { return padded_seq(seq); }
 
 // Client-side delta computation throughput. The paper's client is a 1-vCPU
 // VM and §6.1 attributes the logging overhead primarily to "the time for the
@@ -102,7 +108,9 @@ LogService::LogService(std::string user_id,
       log_tokens_(std::move(log_tokens)),
       coordination_(std::move(coordination)),
       clock_(std::move(clock)),
-      signer_(std::move(initial_keys)) {}
+      signer_(std::move(initial_keys)) {
+  next_seq_ = signer_.count();
+}
 
 LogService::LogService(std::string user_id,
                        std::shared_ptr<depsky::DepSkyClient> storage,
@@ -114,81 +122,217 @@ LogService::LogService(std::string user_id,
       log_tokens_(std::move(log_tokens)),
       coordination_(std::move(coordination)),
       clock_(std::move(clock)),
-      signer_(std::move(resumed_signer)) {}
+      signer_(std::move(resumed_signer)) {
+  next_seq_ = signer_.count();
+}
+
+LogService::~LogService() = default;
+
+void LogService::attach_journal() {
+  journal_ = std::make_unique<IntentJournal>(user_id_, coordination_);
+}
+
+LogService::Prepared LogService::prepare(const std::string& path,
+                                         const Bytes& old_content,
+                                         const Bytes& new_content, std::uint64_t version,
+                                         const std::string& op,
+                                         sim::SimClock::Micros* delay) {
+  *delay += diff_compute_us(old_content.size(), new_content.size());
+
+  // 1. ld_fu: delta between versions, or the whole file when smaller (§3.2),
+  // optionally LZ-compressed (§6.2 future work). A path marked divergent (a
+  // crashed close may have left the cloud copy ahead of the log) is forced
+  // whole-file so selective re-execution never needs the unlogged base.
+  const bool force_whole = divergent_paths_.contains(path);
+  const Bytes empty;
+  const diff::LogDelta ld =
+      diff::make_log_delta(force_whole ? empty : old_content, new_content);
+
+  Prepared p;
+  p.payload = wrap_log_payload(ld.serialize(), compress_);
+  p.record.seq = next_seq_;
+  p.record.user = user_id_;
+  p.record.path = path;
+  p.record.version = version;
+  p.record.op = op;
+  p.record.whole_file = ld.whole_file;
+  p.record.payload_size = p.payload.size();
+  p.record.payload_hash = crypto::sha256(p.payload);
+  p.record.timestamp_us = clock_->now_us();
+  p.valid = true;
+  return p;
+}
+
+sim::Timed<Status> LogService::journal_intent(const std::string& path,
+                                              const Bytes& old_content,
+                                              const Bytes& new_content,
+                                              std::uint64_t version,
+                                              const std::string& op) {
+  if (!journal_) return {Status::Ok(), 0};
+  // Own span: the close path charges this whole delay to its root, so a
+  // child span must carry it — its exclusive time is the diff compute, the
+  // nested coord.op covers the journal record round.
+  obs::Span span = obs::tracer().span("log.intent");
+  sim::SimClock::Micros delay = 0;
+  prepared_ = prepare(path, old_content, new_content, version, op, &delay);
+  auto recorded = journal_->record(prepared_.record);
+  delay += recorded.delay;
+  span.charge_child(static_cast<std::uint64_t>(recorded.delay));
+  span.set_duration(static_cast<std::uint64_t>(delay));
+  if (!recorded.value.ok()) {
+    prepared_ = Prepared{};
+    span.set_outcome(recorded.value.code());
+    return {std::move(recorded.value), delay};
+  }
+  maybe_crash(sim::CrashPoint::kAfterLogIntent);
+  return {Status::Ok(), delay};
+}
 
 sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_content,
                                       const Bytes& new_content, std::uint64_t version,
                                       const std::string& op) {
   obs::Span span = obs::tracer().span("log.append");
-  sim::SimClock::Micros delay = diff_compute_us(old_content.size(), new_content.size());
-
-  // 1. ld_fu: delta between versions, or the whole file when smaller (§3.2),
-  // optionally LZ-compressed (§6.2 future work).
-  const diff::LogDelta ld = diff::make_log_delta(old_content, new_content);
-  const Bytes payload = wrap_log_payload(ld.serialize(), compress_);
-
-  // 2+3+4. Encrypt with a fresh key, split the key, erasure-code, one share
-  // per cloud — all supplied by DepSky CA — uploaded under t_l.
-  LogRecord record;
-  record.seq = signer_.count();
-  record.user = user_id_;
-  record.path = path;
-  record.version = version;
-  record.op = op;
-  record.whole_file = ld.whole_file;
-  record.payload_size = payload.size();
-  record.payload_hash = crypto::sha256(payload);
-  record.timestamp_us = clock_->now_us();
-
-  auto upload = storage_->write(log_tokens_, record.data_unit(), payload);
-  delay += upload.delay;
-  span.charge_child(static_cast<std::uint64_t>(upload.delay));
-  span.set_bytes(payload.size());
+  sim::SimClock::Micros delay = 0;
   auto& reg = obs::metrics();
+
+  // 0. Reuse the intent journaled by the close path when it matches this
+  // append; otherwise prepare (and, with a journal attached, persist the
+  // intent) inline — the unlink path and raw LogService users land here.
+  Prepared prepared;
+  if (prepared_.valid && prepared_.record.path == path &&
+      prepared_.record.version == version && prepared_.record.op == op) {
+    prepared = std::move(prepared_);
+    prepared_ = Prepared{};
+  } else {
+    prepared = prepare(path, old_content, new_content, version, op, &delay);
+    if (journal_) {
+      auto recorded = journal_->record(prepared.record);
+      delay += recorded.delay;
+      span.charge_child(static_cast<std::uint64_t>(recorded.delay));
+      if (!recorded.value.ok()) {
+        span.set_duration(static_cast<std::uint64_t>(delay));
+        span.set_outcome(recorded.value.code());
+        reg.counter("log.append.errors").add();
+        return {std::move(recorded.value), delay};
+      }
+      maybe_crash(sim::CrashPoint::kAfterLogIntent);
+    }
+  }
+  LogRecord& record = prepared.record;
+  const Bytes& payload = prepared.payload;
+
   reg.counter("log.append.count").add();
   reg.counter("log.append.bytes").add(payload.size());
-  if (!upload.value.ok()) {
-    span.set_duration(static_cast<std::uint64_t>(delay));
-    span.set_outcome(upload.value.code());
-    reg.counter("log.append.errors").add();
-    return {std::move(upload.value), delay};
-  }
+  span.set_bytes(payload.size());
 
-  // 5. Seal the metadata into the forward-secure stream.
-  record.tag = signer_.append(record.mac_payload());
+  // 2+3+4. Encrypt with a fresh key, split the key, erasure-code, one share
+  // per cloud — all supplied by DepSky CA — uploaded under t_l. A retry
+  // after kPartialCommit knows the slot already holds the durable payload
+  // and adopts it instead of re-writing into the append-only namespace.
+  bool need_upload = true;
+  if (record.seq == pending_retry_seq_) {
+    auto existing = storage_->read(log_tokens_, record.data_unit());
+    delay += existing.delay;
+    span.charge_child(static_cast<std::uint64_t>(existing.delay));
+    if (existing.value.ok() && existing.value->size() == record.payload_size &&
+        ct_equal(crypto::sha256(*existing.value), record.payload_hash)) {
+      need_upload = false;
+      reg.counter("log.append.adopted").add();
+    }
+  }
+  if (need_upload) {
+    auto upload = storage_->write(log_tokens_, record.data_unit(), payload);
+    delay += upload.delay;
+    span.charge_child(static_cast<std::uint64_t>(upload.delay));
+    if (!upload.value.ok()) {
+      // The write may have failed only at the metadata step while the entry
+      // is in fact durable (e.g. a concurrent earlier attempt finished it):
+      // one read settles whether the slot can be adopted.
+      auto existing = storage_->read(log_tokens_, record.data_unit());
+      delay += existing.delay;
+      span.charge_child(static_cast<std::uint64_t>(existing.delay));
+      const bool adopted = existing.value.ok() &&
+                           existing.value->size() == record.payload_size &&
+                           ct_equal(crypto::sha256(*existing.value), record.payload_hash);
+      if (!adopted) {
+        span.set_duration(static_cast<std::uint64_t>(delay));
+        span.set_outcome(upload.value.code());
+        reg.counter("log.append.errors").add();
+        return {std::move(upload.value), delay};
+      }
+      reg.counter("log.append.adopted").add();
+    }
+  }
+  maybe_crash(sim::CrashPoint::kAfterLogPayloadPut);
+
+  // 5. Seal the metadata into the forward-secure stream — on a SCRATCH
+  // signer: the in-RAM chain state must not advance past what the
+  // coordination service has committed, or a partial failure forks it.
+  fssagg::FssAggSigner sealed = signer_;
+  record.tag = sealed.append(record.mac_payload());
 
   // 6. lm_fu and the refreshed aggregates go to the coordination service;
   // the two tuple operations are processed in parallel by the service
   // (§6.1 optimization (1)).
+  auto committed = commit_log_record(*coordination_, record, sealed, crash_.get());
+  delay += committed.delay;
+  span.charge_child(static_cast<std::uint64_t>(committed.delay));
+  span.set_duration(static_cast<std::uint64_t>(delay));
+  if (!committed.value.ok()) {
+    // Payload durable, metadata not (fully) committed: remember the slot so
+    // the caller's retry adopts it, and surface the distinct status.
+    pending_retry_seq_ = record.seq;
+    span.set_outcome(committed.value.code());
+    reg.counter("log.append.errors").add();
+    return {std::move(committed.value), delay};
+  }
+
+  signer_ = std::move(sealed);
+  next_seq_ = record.seq + 1;
+  pending_retry_seq_ = kNoPendingRetry;
+  divergent_paths_.erase(path);
+  if (journal_) {
+    // The intent is now redundant (the record tuple covers it). Clearing is
+    // fire-and-forget background work: a failure only costs a no-op
+    // "committed" classification at the next replay.
+    auto cleared = journal_->clear(record.seq);
+    (void)cleared;
+  }
+  return {Status::Ok(), delay};
+}
+
+sim::Timed<Status> commit_log_record(coord::CoordinationService& coord,
+                                     const LogRecord& record,
+                                     const fssagg::FssAggSigner& signer,
+                                     sim::CrashSchedule* crash) {
   sim::SimClock::Micros coord_delay = 0;
   Status meta_status;
   Status agg_status;
   {
     obs::Span group = obs::tracer().span("log.coord", {.fanout = true});
-    auto meta = coordination_->out(record.to_tuple());
-    auto agg = coordination_->replace(
-        coord::Template::of({kAggregateTag, user_id_, "*", "*", "*"}),
-        {kAggregateTag, user_id_, hex_encode(signer_.aggregate_a()),
-         hex_encode(signer_.aggregate_b()), std::to_string(signer_.count())});
+    // Seq-keyed replace: re-committing the same record after a partial
+    // failure rewrites the identical tuple instead of duplicating it.
+    auto meta = coord.replace(
+        coord::Template::of({kRecordTag, record.user, padded_seq(record.seq), "*", "*",
+                             "*", "*", "*", "*", "*", "*", "*"}),
+        record.to_tuple());
+    if (crash) crash->maybe_crash(sim::CrashPoint::kAfterMetaAppend);
+    auto agg = coord.replace(
+        coord::Template::of({kAggregateTag, record.user, "*", "*", "*"}),
+        {kAggregateTag, record.user, hex_encode(signer.aggregate_a()),
+         hex_encode(signer.aggregate_b()), std::to_string(signer.count())});
     coord_delay = std::max(meta.delay, agg.delay);
     group.set_duration(static_cast<std::uint64_t>(coord_delay));
-    meta_status = std::move(meta.value);
+    if (!meta.value.ok()) meta_status = Status{meta.value.error()};
     if (!agg.value.ok()) agg_status = Status{agg.value.error()};
   }
-  delay += coord_delay;
-  span.charge_child(static_cast<std::uint64_t>(coord_delay));
-  span.set_duration(static_cast<std::uint64_t>(delay));
-  if (!meta_status.ok()) {
-    span.set_outcome(meta_status.code());
-    reg.counter("log.append.errors").add();
-    return {std::move(meta_status), delay};
+  if (!meta_status.ok() || !agg_status.ok()) {
+    const Status& cause = !meta_status.ok() ? meta_status : agg_status;
+    return {Status{ErrorCode::kPartialCommit,
+                   "log metadata commit incomplete: " + cause.error().message},
+            coord_delay};
   }
-  if (!agg_status.ok()) {
-    span.set_outcome(agg_status.code());
-    reg.counter("log.append.errors").add();
-    return {std::move(agg_status), delay};
-  }
-  return {Status::Ok(), delay};
+  return {Status::Ok(), coord_delay};
 }
 
 Bytes wrap_log_payload(BytesView serialized_delta, bool try_compress) {
@@ -240,25 +384,50 @@ std::unique_ptr<LogService> make_resumed_log_service(
     const std::string& user_id, std::shared_ptr<depsky::DepSkyClient> storage,
     std::vector<cloud::AccessToken> log_tokens,
     std::shared_ptr<coord::CoordinationService> coordination, sim::SimClockPtr clock,
-    const fssagg::FssAggKeys& initial_keys) {
+    const fssagg::FssAggKeys& initial_keys, const LogServiceOptions& options) {
   auto existing = read_aggregates(*coordination, user_id);
   clock->advance_us(existing.delay);
-  if (existing.value.ok() && existing.value->count > 0) {
-    fssagg::FssAggKeys current = initial_keys;
-    for (std::uint64_t i = 0; i < existing.value->count; ++i) {
-      current.a1 = fssagg::fssagg_evolve_key(current.a1);
-      current.b1 = fssagg::fssagg_evolve_key(current.b1);
+
+  fssagg::FssAggSigner signer = [&] {
+    if (existing.value.ok() && existing.value->count > 0) {
+      fssagg::FssAggKeys current = initial_keys;
+      for (std::uint64_t i = 0; i < existing.value->count; ++i) {
+        current.a1 = fssagg::fssagg_evolve_key(current.a1);
+        current.b1 = fssagg::fssagg_evolve_key(current.b1);
+      }
+      return fssagg::FssAggSigner(std::move(current), existing.value->agg_a,
+                                  existing.value->agg_b,
+                                  static_cast<std::size_t>(existing.value->count));
     }
-    return std::make_unique<LogService>(
-        user_id, std::move(storage), std::move(log_tokens), std::move(coordination),
-        std::move(clock),
-        fssagg::FssAggSigner(std::move(current), existing.value->agg_a,
-                             existing.value->agg_b,
-                             static_cast<std::size_t>(existing.value->count)));
+    return fssagg::FssAggSigner(initial_keys);
+  }();
+
+  std::uint64_t next_seq = signer.count();
+  std::set<std::string> divergent;
+  if (options.enable_journal) {
+    auto replay =
+        replay_intent_journal(user_id, storage, log_tokens, coordination, signer);
+    clock->advance_us(replay.delay);
+    if (replay.value.ok()) {
+      next_seq = std::max(next_seq, replay.value->next_seq);
+      divergent = std::move(replay.value->divergent_paths);
+    } else {
+      // A failed replay leaves the intents pending for the next login; the
+      // chain itself is still consistent at the resumed count.
+      LOG_WARN("journal replay failed for " << user_id << ": "
+                                            << replay.value.error().message);
+    }
   }
-  return std::make_unique<LogService>(user_id, std::move(storage), std::move(log_tokens),
-                                      std::move(coordination), std::move(clock),
-                                      initial_keys);
+
+  auto service = std::make_unique<LogService>(user_id, std::move(storage),
+                                              std::move(log_tokens),
+                                              std::move(coordination), std::move(clock),
+                                              std::move(signer));
+  service->set_next_seq(next_seq);
+  for (const auto& p : divergent) service->mark_divergent(p);
+  if (options.enable_journal) service->attach_journal();
+  service->set_crash_schedule(options.crash);
+  return service;
 }
 
 sim::Timed<Result<std::vector<LogRecord>>> read_log_records(

@@ -19,14 +19,19 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
 #include "common/result.h"
 #include "coord/service.h"
 #include "depsky/client.h"
 #include "diff/binary_diff.h"
 #include "fssagg/fssagg.h"
+#include "sim/faults.h"
 #include "sim/timed.h"
 
 namespace rockfs::core {
+
+class IntentJournal;  // journal.h (write-ahead intents for crash recovery)
 
 /// One log entry's metadata half (lm_fu).
 struct LogRecord {
@@ -67,15 +72,53 @@ class LogService {
              std::shared_ptr<coord::CoordinationService> coordination,
              sim::SimClockPtr clock, fssagg::FssAggSigner resumed_signer);
 
+  ~LogService();
+
   /// Appends one entry for a close()/unlink(). Returns the composed delay of
   /// the whole log pipeline WITHOUT advancing the clock, so the caller can
   /// run it in parallel with the file upload (§6.1 optimization (2)).
+  ///
+  /// Crash consistency: when a journal is attached, the intent is persisted
+  /// before any cloud object exists (unless journal_intent() already did);
+  /// the signer evolves on a scratch copy and is adopted only after both
+  /// coordination tuples commit. A payload-durable-but-uncommitted outcome
+  /// reports kPartialCommit — retrying the same append adopts the durable
+  /// payload instead of forking the chain.
   sim::Timed<Status> append(const std::string& path, const Bytes& old_content,
                             const Bytes& new_content, std::uint64_t version,
                             const std::string& op);
 
-  std::uint64_t next_seq() const noexcept { return signer_.count(); }
+  /// Persists the write-ahead intent for the NEXT append (close pipeline
+  /// step 0: before even the file object upload — see Scfs's close intent
+  /// hook). The prepared record/payload is consumed by the matching append()
+  /// call, which then skips re-journaling. No-op without a journal.
+  sim::Timed<Status> journal_intent(const std::string& path, const Bytes& old_content,
+                                    const Bytes& new_content, std::uint64_t version,
+                                    const std::string& op);
+
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
   const std::string& user() const noexcept { return user_id_; }
+
+  // ---- crash-resilience wiring (journal.h, sim/faults.h) ----
+
+  /// Attaches the write-ahead intent journal (built over this service's
+  /// coordination handle). Normally done by make_resumed_log_service.
+  void attach_journal();
+  bool has_journal() const noexcept { return journal_ != nullptr; }
+  /// Crash points inside append() fire against this schedule (nullable).
+  void set_crash_schedule(sim::CrashSchedulePtr crash) { crash_ = std::move(crash); }
+  /// First unused sequence number; diverges upward from signer_.count() only
+  /// when a poisoned slot (partial garbage from a crashed append that can
+  /// neither be adopted nor reused) had to be skipped.
+  void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
+  /// Marks `path` as possibly newer in the cloud than in the log (a crashed
+  /// close lost its intent): the next append for it logs a whole-file entry,
+  /// so selective re-execution never applies a delta against a base the log
+  /// has not seen.
+  void mark_divergent(const std::string& path) { divergent_paths_.insert(path); }
+  const std::set<std::string>& divergent_paths() const noexcept {
+    return divergent_paths_;
+  }
 
   /// Tuple tag used for log metadata ("rocklog").
   static const char* record_tag();
@@ -88,6 +131,20 @@ class LogService {
   bool compression() const noexcept { return compress_; }
 
  private:
+  /// Builds the payload + unsealed record for one append (shared by
+  /// journal_intent and append). Charges the diff computation to *delay.
+  struct Prepared {
+    LogRecord record;
+    Bytes payload;
+    bool valid = false;
+  };
+  Prepared prepare(const std::string& path, const Bytes& old_content,
+                   const Bytes& new_content, std::uint64_t version,
+                   const std::string& op, sim::SimClock::Micros* delay);
+  void maybe_crash(sim::CrashPoint point) {
+    if (crash_) crash_->maybe_crash(point);
+  }
+
   std::string user_id_;
   std::shared_ptr<depsky::DepSkyClient> storage_;
   std::vector<cloud::AccessToken> log_tokens_;
@@ -95,6 +152,40 @@ class LogService {
   sim::SimClockPtr clock_;
   fssagg::FssAggSigner signer_;
   bool compress_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::unique_ptr<IntentJournal> journal_;
+  sim::CrashSchedulePtr crash_;
+  /// Intent journaled ahead of the matching append (close pipeline step 0).
+  Prepared prepared_;
+  /// Seq whose payload is known durable though uncommitted (kPartialCommit):
+  /// the retry reads the slot instead of re-uploading into it.
+  std::uint64_t pending_retry_seq_ = kNoPendingRetry;
+  static constexpr std::uint64_t kNoPendingRetry = ~std::uint64_t{0};
+  /// Paths whose cloud state may be ahead of the log (journal.h replay).
+  std::set<std::string> divergent_paths_;
+};
+
+/// Zero-padded 12-digit sequence label used in tuple fields and data-unit
+/// names (shared with the journal and the scrubber).
+std::string padded_seq(std::uint64_t seq);
+
+/// Idempotently commits a sealed record plus the refreshed aggregates to the
+/// coordination service. Both tuples go through seq-/user-keyed replace, so
+/// re-committing after a partial failure rewrites rather than duplicates.
+/// The two operations are processed in parallel (delay = max); `crash`, when
+/// given, is consulted at kAfterMetaAppend between them. A failure of either
+/// half reports kPartialCommit. Shared by append() and the journal replay.
+sim::Timed<Status> commit_log_record(coord::CoordinationService& coord,
+                                     const LogRecord& record,
+                                     const fssagg::FssAggSigner& signer,
+                                     sim::CrashSchedule* crash = nullptr);
+
+/// Options for make_resumed_log_service (crash-resilience wiring).
+struct LogServiceOptions {
+  /// Persist write-ahead intents and replay them at resume time.
+  bool enable_journal = false;
+  /// Crash schedule consulted by append() (nullable).
+  sim::CrashSchedulePtr crash;
 };
 
 /// Payload envelope: a one-byte codec tag (0 = raw, 1 = LZ) ahead of the
@@ -105,13 +196,16 @@ Result<Bytes> unwrap_log_payload(BytesView payload);
 /// Builds a LogService that CONTINUES the user's existing chain if the
 /// coordination service already records appended entries (login after
 /// logout, admin service restart): the keys are evolved `count` times from
-/// the initial keys and the aggregates are adopted. Advances the clock by
-/// the aggregate lookup.
+/// the initial keys and the aggregates are adopted. With the journal
+/// enabled, this is also where crash recovery happens: stored records ahead
+/// of the aggregates are reconciled and pending intents are replayed
+/// (adopted, discarded, or deferred — journal.h). Advances the clock by the
+/// lookups and the replay.
 std::unique_ptr<LogService> make_resumed_log_service(
     const std::string& user_id, std::shared_ptr<depsky::DepSkyClient> storage,
     std::vector<cloud::AccessToken> log_tokens,
     std::shared_ptr<coord::CoordinationService> coordination, sim::SimClockPtr clock,
-    const fssagg::FssAggKeys& initial_keys);
+    const fssagg::FssAggKeys& initial_keys, const LogServiceOptions& options = {});
 
 /// Reads the aggregate tuple for `user` (shared by verifier and tests).
 struct StoredAggregates {

@@ -49,10 +49,19 @@ RecoveryService::RecoveryService(std::string user_id, RecoveryConfig config,
     admin_chain_keys_ = fssagg::fssagg_keygen(admin_drbg);
     // A previous service instance may already have written admin records;
     // resume the chain from the stored aggregates instead of restarting it.
+    // The admin chain gets the same write-ahead journal protection as the
+    // user chain: a crashed recovery's half-appended records are repaired
+    // here before any new "recover"/"snapshot" entry.
     recovery_log_ = make_resumed_log_service("admin:" + user_id_, storage_,
                                              config_.admin_tokens, coordination_, clock_,
-                                             admin_chain_keys_);
+                                             admin_chain_keys_,
+                                             LogServiceOptions{/*enable_journal=*/true});
   }
+}
+
+void RecoveryService::set_crash_schedule(sim::CrashSchedulePtr crash) {
+  crash_ = std::move(crash);
+  if (recovery_log_) recovery_log_->set_crash_schedule(crash_);
 }
 
 Result<LogAudit> RecoveryService::audit_admin_log() {
@@ -398,6 +407,43 @@ Result<std::vector<FileRecovery>> RecoveryService::recover_all(
                  "recovery: log stream integrity violated (truncation or reordering)"};
   }
 
+  sim::SimClock::Micros delay = 0;
+
+  // Resumable sessions: the admin chain brackets every recover_all between a
+  // "recover-begin" and a "recover-end" marker, and each recovered file's
+  // "recover" record doubles as its checkpoint. An un-ended begin marker
+  // means the previous run crashed — resume after the last completed file
+  // instead of re-recovering (and double-logging) the finished ones.
+  std::set<std::string> already_done;
+  if (recovery_log_) {
+    bool resuming = false;
+    auto admin = audit_admin_log();
+    if (admin.ok()) {
+      const LogRecord* begin = nullptr;
+      const LogRecord* end = nullptr;
+      for (const auto& r : admin->records) {
+        if (admin->discarded_seqs.contains(r.seq)) continue;
+        if (r.op == "recover-begin" && (!begin || r.seq > begin->seq)) begin = &r;
+        if (r.op == "recover-end" && (!end || r.seq > end->seq)) end = &r;
+      }
+      if (begin != nullptr && (end == nullptr || end->seq < begin->seq)) {
+        resuming = true;
+        for (const auto& r : admin->records) {
+          if (admin->discarded_seqs.contains(r.seq)) continue;
+          if (r.op == "recover" && r.seq > begin->seq) already_done.insert(r.path);
+        }
+        obs::metrics().counter("recovery.resumed").add();
+        LOG_INFO("recover_all resuming: " << already_done.size()
+                                          << " file(s) already checkpointed");
+      }
+    }
+    if (!resuming) {
+      auto marker = recovery_log_->append("*", {}, {}, 0, "recover-begin");
+      delay += marker.delay;
+      if (!marker.value.ok()) return Error{marker.value.error()};
+    }
+  }
+
   // Enumerate files: priority list first, then everything else in log order.
   std::vector<std::string> order;
   std::set<std::string> seen;
@@ -410,15 +456,38 @@ Result<std::vector<FileRecovery>> RecoveryService::recover_all(
 
   std::vector<FileRecovery> results;
   results.reserve(order.size());
-  sim::SimClock::Micros delay = 0;
-  for (const auto& path : order) {
-    auto one = recover_one(*audit, path, malicious, &delay);
-    if (!one.ok()) {
-      LOG_WARN("recovery of " << path << " failed: " << one.error().message);
-      continue;
+  try {
+    for (const auto& path : order) {
+      if (already_done.contains(path)) continue;  // checkpointed by the crashed run
+      auto one = recover_one(*audit, path, malicious, &delay);
+      if (!one.ok()) {
+        LOG_WARN("recovery of " << path << " failed: " << one.error().message);
+        continue;
+      }
+      results.push_back(std::move(*one));
+      // The admin workstation can die between files too.
+      if (crash_) crash_->maybe_crash(sim::CrashPoint::kMidRecoverAll);
     }
-    results.push_back(std::move(*one));
+  } catch (const sim::ClientCrash& crash) {
+    // The recovery process is gone; bill the time spent so far and model the
+    // restart by rebuilding the admin-chain writer from the stored state
+    // (exactly what the service ctor of the next run would do).
+    clock_->advance_us(delay);
+    LOG_WARN("recover_all crashed at " << sim::crash_point_name(crash.point) << " after "
+                                       << results.size() << " file(s)");
+    recovery_log_ = make_resumed_log_service(
+        "admin:" + user_id_, storage_, config_.admin_tokens, coordination_, clock_,
+        admin_chain_keys_, LogServiceOptions{/*enable_journal=*/true, crash_});
+    return Error{ErrorCode::kCrashed,
+                 std::string("recovery crashed at ") + sim::crash_point_name(crash.point)};
   }
+
+  if (recovery_log_) {
+    auto marker = recovery_log_->append("*", {}, {}, 0, "recover-end");
+    delay += marker.delay;
+    if (!marker.value.ok()) return Error{marker.value.error()};
+  }
+
   clock_->advance_us(delay);
   last_recovery_us_ = clock_->now_us() - start;
   span.set_duration(static_cast<std::uint64_t>(last_recovery_us_));

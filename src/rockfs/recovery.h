@@ -111,6 +111,14 @@ class RecoveryService {
   /// Verified view of the admin chain ("recover"/"snapshot" records).
   Result<LogAudit> audit_admin_log();
 
+  /// Crash injection: recover_all consults this schedule between files
+  /// (sim::CrashPoint::kMidRecoverAll) and the admin chain's own appends
+  /// consult it like any LogService. A fired crash aborts with kCrashed;
+  /// the NEXT recover_all finds the un-ended "recover-begin" marker in the
+  /// admin chain and resumes after the last completed file, never re-logging
+  /// a "recover" record for one already done.
+  void set_crash_schedule(sim::CrashSchedulePtr crash);
+
  private:
   /// Latest valid snapshot baseline for `path`, if any. Returns the content
   /// and the user-log seq watermark it covers (entries with seq <= watermark
@@ -140,6 +148,7 @@ class RecoveryService {
   fssagg::FssAggKeys admin_chain_keys_;
   std::unique_ptr<LogService> recovery_log_;  // the admin's own chain
   sim::SimClock::Micros last_recovery_us_ = 0;
+  sim::CrashSchedulePtr crash_;
 };
 
 }  // namespace rockfs::core

@@ -79,6 +79,10 @@ void Scfs::set_close_interceptor(CloseInterceptor interceptor) {
   interceptor_ = std::move(interceptor);
 }
 
+void Scfs::set_close_intent_hook(CloseInterceptor hook) {
+  intent_hook_ = std::move(hook);
+}
+
 void Scfs::clear_cache() { cache_.clear(); }
 
 std::optional<Bytes> Scfs::cached_raw(const std::string& path) const {
@@ -258,11 +262,27 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   const std::uint64_t new_version = of.version + 1;
   span.set_bytes(of.content.size());
   close_bytes_->add(of.content.size());
+  if (crash_) crash_->maybe_crash(sim::CrashPoint::kBeforeFilePut);
 
   // Local work: agent bookkeeping + write-through of the (transformed) cache.
   sim::SimClock::Micros local = local_cost(of.content.size());
   if (options_.use_cache) {
     cache_[of.path] = {transform_->protect(of.path, new_version, of.content), new_version};
+  }
+
+  // Write-ahead intent (RockFS crash consistency): persisted before ANY
+  // cloud object of this close exists, serialized ahead of the pipeline.
+  sim::SimClock::Micros intent_delay = 0;
+  if (intent_hook_) {
+    auto intent = intent_hook_(of.path, of.original, of.content, new_version);
+    intent_delay = intent.delay;
+    span.charge_child(static_cast<std::uint64_t>(intent_delay));
+    if (!intent.value.ok()) {
+      clock_->advance_us(local + intent_delay);
+      observe(local + intent_delay, intent.value.code());
+      return {std::move(intent.value), local + intent_delay};
+    }
+    local += intent_delay;  // serialized ahead of the parallel pipelines
   }
 
   // The upload pipeline: file upload and the interceptor's pipeline (RockFS
@@ -281,6 +301,7 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
     observe(local + file_up.delay, file_up.value.code());
     return {Status{file_up.value.error()}, local + file_up.delay};
   }
+  if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterFilePut);
   sim::SimClock::Micros pipeline = file_up.delay;
   Status interceptor_status;
   if (interceptor_) {

@@ -25,6 +25,7 @@
 #include "coord/service.h"
 #include "depsky/client.h"
 #include "obs/metrics.h"
+#include "sim/faults.h"
 #include "sim/timed.h"
 
 namespace rockfs::scfs {
@@ -125,6 +126,16 @@ class Scfs {
 
   void set_cache_transform(std::shared_ptr<CacheTransform> transform);
   void set_close_interceptor(CloseInterceptor interceptor);
+  /// Write-ahead hook, same signature as the interceptor, run BEFORE the
+  /// file upload: RockFS persists its log intent here so that every crash
+  /// between the hook and the interceptor's commit is classifiable at the
+  /// next login. Its delay is serialized ahead of the upload pipeline (one
+  /// coordination round trip); a failure aborts the close.
+  void set_close_intent_hook(CloseInterceptor hook);
+  /// Crash points along the close path fire against this schedule
+  /// (nullable). Crashes propagate as sim::ClientCrash — the agent layer
+  /// catches them and drops the session.
+  void set_crash_schedule(sim::CrashSchedulePtr crash) { crash_ = std::move(crash); }
   /// Drops every cached entry (e.g., session key rotation).
   void clear_cache();
   /// Direct cache inspection for tests and the attack driver.
@@ -168,6 +179,8 @@ class Scfs {
   ScfsOptions options_;
   std::shared_ptr<CacheTransform> transform_;
   CloseInterceptor interceptor_;
+  CloseInterceptor intent_hook_;
+  sim::CrashSchedulePtr crash_;
 
   std::map<Fd, OpenFile> open_files_;
   std::map<std::string, CacheEntry> cache_;

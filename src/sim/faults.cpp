@@ -75,4 +75,39 @@ FaultActions FaultSchedule::on_operation(FaultOp op) {
   return actions;
 }
 
+const char* crash_point_name(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kBeforeFilePut: return "before_file_put";
+    case CrashPoint::kAfterLogIntent: return "after_log_intent";
+    case CrashPoint::kAfterFilePut: return "after_file_put";
+    case CrashPoint::kAfterLogPayloadPut: return "after_log_payload_put";
+    case CrashPoint::kAfterMetaAppend: return "after_meta_append";
+    case CrashPoint::kMidRecoverAll: return "mid_recover_all";
+  }
+  return "unknown";
+}
+
+void CrashSchedule::arm(CrashPoint point, std::uint64_t skip_hits) {
+  armed_ = true;
+  armed_point_ = point;
+  skip_remaining_ = skip_hits;
+}
+
+std::uint64_t CrashSchedule::hits(CrashPoint point) const {
+  return hit_counts_[static_cast<std::size_t>(point)];
+}
+
+void CrashSchedule::maybe_crash(CrashPoint point) {
+  ++hit_counts_[static_cast<std::size_t>(point)];
+  if (!armed_ || point != armed_point_) return;
+  if (skip_remaining_ > 0) {
+    --skip_remaining_;
+    return;
+  }
+  armed_ = false;
+  ++crashes_;
+  last_crash_ = point;
+  throw ClientCrash{point};
+}
+
 }  // namespace rockfs::sim

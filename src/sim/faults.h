@@ -103,4 +103,70 @@ class FaultSchedule {
 
 using FaultSchedulePtr = std::shared_ptr<FaultSchedule>;
 
+// ---------------------------------------------------------------- crashes
+//
+// Client-side process death, as opposed to the cloud-side faults above. A
+// CrashSchedule is shared by every layer of one client stack (Scfs close
+// path, LogService::append, RecoveryService); each layer announces the named
+// point it has just passed via maybe_crash(). When the armed point is hit,
+// maybe_crash throws ClientCrash: the in-flight operation unwinds through
+// the stack and the owner (agent / recovery service) drops all in-RAM state,
+// exactly as a kill -9 between two durable steps would.
+
+/// Named instants of the close / append / recovery pipelines at which the
+/// client process can die. The order within one close() is the declaration
+/// order: intent journal, file put, log payload put, metadata append.
+enum class CrashPoint {
+  kBeforeFilePut = 0,   // close(): nothing durable yet (not even the intent)
+  kAfterLogIntent,      // intent journaled; neither file nor payload uploaded
+  kAfterFilePut,        // file object durable; log pipeline not started
+  kAfterLogPayloadPut,  // log payload durable; metadata not committed
+  kAfterMetaAppend,     // record tuple committed; aggregates still stale
+  kMidRecoverAll,       // recover_all(): between two files
+};
+inline constexpr std::size_t kCrashPointCount = 6;
+
+/// Human-readable name ("after_file_put", ...) for logs and bench output.
+const char* crash_point_name(CrashPoint p);
+
+/// Thrown by CrashSchedule::maybe_crash. Deliberately NOT derived from
+/// std::exception: generic catch(const std::exception&) blocks must never
+/// swallow a simulated process death.
+struct ClientCrash {
+  CrashPoint point;
+};
+
+/// One-shot crash trigger. arm() selects the point (and how many hits of it
+/// to let pass first); the matching maybe_crash() call throws ClientCrash
+/// and disarms, so the restarted client replays cleanly.
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+
+  /// Arms the schedule: the (skip_hits+1)-th consultation of `point` throws.
+  void arm(CrashPoint point, std::uint64_t skip_hits = 0);
+  void disarm() noexcept { armed_ = false; }
+  bool armed() const noexcept { return armed_; }
+
+  /// Consults the schedule; throws ClientCrash when the armed crash fires.
+  /// Counts every consultation, armed or not (for tests and benches).
+  void maybe_crash(CrashPoint point);
+
+  /// Crashes fired so far / the point of the most recent one.
+  std::uint64_t crashes() const noexcept { return crashes_; }
+  CrashPoint last_crash() const noexcept { return last_crash_; }
+  /// Consultations of `point` so far (for choosing skip_hits).
+  std::uint64_t hits(CrashPoint point) const;
+
+ private:
+  bool armed_ = false;
+  CrashPoint armed_point_ = CrashPoint::kBeforeFilePut;
+  std::uint64_t skip_remaining_ = 0;
+  std::uint64_t hit_counts_[kCrashPointCount] = {};
+  std::uint64_t crashes_ = 0;
+  CrashPoint last_crash_ = CrashPoint::kBeforeFilePut;
+};
+
+using CrashSchedulePtr = std::shared_ptr<CrashSchedule>;
+
 }  // namespace rockfs::sim

@@ -159,5 +159,73 @@ TEST(AppendPipeline, ObservableEffects) {
   }
 }
 
+TEST(AppendPipeline, PartialCommitRetryDoesNotForkChain) {
+  Deployment dep;
+  crypto::Drbg drbg(to_bytes("partial-commit"));
+
+  depsky::DepSkyConfig cfg;
+  cfg.clouds = dep.clouds();
+  cfg.f = 1;
+  cfg.writer = crypto::generate_keypair(drbg);
+  cfg.trusted_writers.push_back(crypto::point_encode(cfg.writer.public_key));
+  auto storage =
+      std::make_shared<depsky::DepSkyClient>(std::move(cfg), drbg.generate(32));
+  std::vector<cloud::AccessToken> tokens;
+  for (auto& c : dep.clouds()) {
+    tokens.push_back(c->issue_token("carol", "rockfs", cloud::TokenScope::kLogAppend));
+  }
+  const auto keys = fssagg::fssagg_keygen(drbg);
+  LogService svc("carol", storage, tokens, dep.coordination(), dep.clock(), keys);
+
+  const Bytes v1 = to_bytes("partial commit test content, version one ........");
+  const Bytes v2 = to_bytes("partial commit test content, version two ......!!");
+  auto first = svc.append("/f", {}, v1, 1, "create");
+  ASSERT_TRUE(first.value.ok()) << first.value.error().message;
+  EXPECT_EQ(svc.next_seq(), 1u);
+
+  // The payload put succeeds (the clouds are healthy) but the metadata
+  // append cannot go through: the client is partitioned from the whole
+  // coordination service. The append must NOT evolve the signer — that
+  // would fork the chain from what the coordination service records.
+  const auto now = dep.clock()->now_us();
+  for (std::size_t i = 0; i < dep.coordination()->replica_count(); ++i) {
+    dep.coordination()->replica_faults(i).add_outage(now, now + 600'000'000);
+  }
+  auto wedged = svc.append("/f", v1, v2, 2, "update");
+  EXPECT_EQ(wedged.value.code(), ErrorCode::kPartialCommit);
+  EXPECT_TRUE(is_retryable(wedged.value.code()));
+  EXPECT_EQ(svc.next_seq(), 1u);  // signer state unchanged
+
+  // The payload slot IS durable: the retry adopts it (the log namespace is
+  // append-only, re-uploading into the slot would be denied) and commits the
+  // metadata, completing the very same entry.
+  for (std::size_t i = 0; i < dep.coordination()->replica_count(); ++i) {
+    dep.coordination()->replica_faults(i).clear();
+  }
+  auto retry = svc.append("/f", v1, v2, 2, "update");
+  ASSERT_TRUE(retry.value.ok()) << retry.value.error().message;
+  EXPECT_EQ(svc.next_seq(), 2u);
+
+  // Exactly two records (no duplicate seqs), aggregates agree, and the whole
+  // chain verifies from the initial keys.
+  auto records = read_log_records(*dep.coordination(), "carol");
+  ASSERT_TRUE(records.value.ok());
+  ASSERT_EQ(records.value->size(), 2u);
+  EXPECT_EQ((*records.value)[0].seq, 0u);
+  EXPECT_EQ((*records.value)[1].seq, 1u);
+  auto aggregates = read_aggregates(*dep.coordination(), "carol");
+  ASSERT_TRUE(aggregates.value.ok());
+  EXPECT_EQ(aggregates.value->count, 2u);
+
+  std::vector<fssagg::TaggedEntry> tagged;
+  for (const auto& r : *records.value) tagged.push_back({r.mac_payload(), r.tag});
+  const auto report = fssagg::fssagg_verify(keys, tagged, aggregates.value->agg_a,
+                                            aggregates.value->agg_b,
+                                            aggregates.value->count);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.corrupt_entries.empty());
+  EXPECT_FALSE(report.aggregate_mismatch);
+}
+
 }  // namespace
 }  // namespace rockfs::core

@@ -373,6 +373,28 @@ TEST_F(RecoveryFixture, PriorityFilesRecoverFirst) {
   EXPECT_EQ((*results)[1].path, "/f2");
 }
 
+TEST_F(RecoveryFixture, PriorityListToleratesDuplicatesAndUnknowns) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        alice.write_file("/f" + std::to_string(i), to_bytes("data" + std::to_string(i)))
+            .ok());
+  }
+  auto recovery = dep.make_recovery_service("alice");
+  // Operators paste messy lists: duplicated entries must recover once, paths
+  // the log has never seen must be skipped (not fail the whole run), and the
+  // completion order must still honor the (deduplicated) priorities.
+  auto results =
+      recovery.recover_all({}, {"/f2", "/missing", "/f2", "/f0", "/also-missing", "/f2"});
+  ASSERT_TRUE(results.ok()) << results.error().message;
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[0].path, "/f2");
+  EXPECT_EQ((*results)[1].path, "/f0");
+  EXPECT_EQ((*results)[2].path, "/f1");
+  std::set<std::string> unique_paths;
+  for (const auto& r : *results) unique_paths.insert(r.path);
+  EXPECT_EQ(unique_paths.size(), results->size());  // nothing recovered twice
+}
+
 TEST_F(RecoveryFixture, RecoveryOperationsAreLogged) {
   ASSERT_TRUE(alice.write_file("/doc", to_bytes("v1")).ok());
   const auto attack = ransomware_attack(alice, {"/doc"}, 7);

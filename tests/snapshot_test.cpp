@@ -171,6 +171,33 @@ TEST_F(SnapshotFixture, ArchivalIsAdminOnly) {
   EXPECT_TRUE(dep.clouds()[0]->restore_from_cold(dep.admin_tokens()[0], key).value.ok());
 }
 
+TEST_F(SnapshotFixture, PointInTimeRecoveryIgnoresSnapshotTakenAfterCutOff) {
+  // History: create + one update, a cut-off instant, then one more update.
+  Rng rng(21);
+  Bytes content = rng.next_bytes(4'000);
+  alice.write_file("/f", content).expect("create");
+  append(content, rng.next_bytes(1'200));
+  alice.write_file("/f", content).expect("update");
+  const Bytes at_cutoff = content;
+  const auto cutoff_us = dep.clock()->now_us();
+  append(content, rng.next_bytes(1'200));
+  alice.write_file("/f", content).expect("late update");
+
+  // The snapshot is taken AFTER the cut-off: its baseline folds in the late
+  // update, so point-in-time recovery must ignore it, replay the original
+  // entries, and pull their archived payloads from the cold tier.
+  auto recovery = dep.make_recovery_service("alice");
+  recovery.compact_file("/f").expect("compact");
+
+  const auto start = dep.clock()->now_us();
+  auto result = recovery.recover_file_at("/f", cutoff_us);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result->content, at_cutoff);
+  EXPECT_EQ(result->applied, 2u);  // create + first update; no baseline
+  // Glacier-class retrieval: the replay paid hours of virtual time.
+  EXPECT_GT(dep.clock()->now_us() - start, 3'600'000'000LL);
+}
+
 TEST_F(SnapshotFixture, CompactionOfUnknownPathFails) {
   auto recovery = dep.make_recovery_service("alice");
   EXPECT_FALSE(recovery.compact_file("/nothing-here").ok());
