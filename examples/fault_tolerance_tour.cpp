@@ -60,10 +60,10 @@ int main() {
   deployment.clouds()[1]->set_byzantine(false);
 
   std::printf("\n4. silent share corruption + proactive repair\n");
-  (void)deployment.clouds()[2]->corrupt_object("files/alice/archive.bin.v1.s2");
+  (void)deployment.clouds()[2]->corrupt_object("files/archive.bin.v1.s2");
   check("cloud-2 share corrupt:");
   auto repaired = alice.fs().storage()->repair(alice.keystore().file_tokens,
-                                               "files/alice/archive.bin");
+                                               "files/archive.bin");
   std::printf("  repair: %zu ok, %zu rebuilt\n", repaired.value.expect("repair").shares_ok,
               repaired.value->shares_repaired);
   check("after repair (margin restored):");

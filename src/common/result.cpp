@@ -17,6 +17,7 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kCrashed: return "crashed";
     case ErrorCode::kPartialCommit: return "partial_commit";
+    case ErrorCode::kFenced: return "fenced";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@ enum class ErrorCode {
   kTimeout,           // operation exceeded its (simulated) deadline
   kCrashed,           // client process died mid-operation (sim::ClientCrash)
   kPartialCommit,     // durable payload, uncommitted metadata; retry is safe
+  kFenced,            // writer's fencing epoch is stale; commit refused
 };
 
 /// Human-readable name of an ErrorCode ("not_found", "integrity", ...).

@@ -51,6 +51,15 @@ class DepSkyClient {
 
   std::size_t n() const noexcept { return config_.clouds.size(); }
   const DepSkyConfig& config() const noexcept { return config_; }
+  /// Adds a metadata signer the reader will accept (idempotent). Multi-client
+  /// sharing: each user trusts the other writers of the shared namespace, so
+  /// a unit last written by a peer stays readable.
+  void add_trusted_writer(Bytes public_key) {
+    for (const auto& w : config_.trusted_writers) {
+      if (w == public_key) return;
+    }
+    config_.trusted_writers.push_back(std::move(public_key));
+  }
   std::size_t f() const noexcept { return config_.f; }
   /// Erasure/secret-sharing threshold: f+1 shares reconstruct.
   std::size_t k() const noexcept { return config_.f + 1; }

@@ -47,6 +47,9 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
   scfs::ScfsOptions fs_opts;
   fs_opts.sync_mode = options_.sync_mode;
   fs_opts.user_id = user_id_;
+  fs_opts.session_id = user_id_ + "-s" + std::to_string(++logins_);
+  fs_opts.lease_ttl_us = options_.lease_ttl_us;
+  fs_opts.fencing = options_.fencing;
   fs_ = std::make_unique<scfs::Scfs>(storage_, keystore_->file_tokens, coordination_,
                                      clock_, fs_opts);
 
@@ -70,15 +73,15 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
     log_->set_compression(options_.compress_log);
     fs_->set_close_intent_hook(
         [this](const std::string& path, const Bytes& old_content, const Bytes& new_content,
-               std::uint64_t version) {
+               std::uint64_t version, std::uint64_t epoch) {
           return log_->journal_intent(path, old_content, new_content, version,
-                                      version == 1 ? "create" : "update");
+                                      version == 1 ? "create" : "update", epoch);
         });
     fs_->set_close_interceptor(
         [this](const std::string& path, const Bytes& old_content, const Bytes& new_content,
-               std::uint64_t version) {
+               std::uint64_t version, std::uint64_t epoch) {
           return log_->append(path, old_content, new_content, version,
-                              version == 1 ? "create" : "update");
+                              version == 1 ? "create" : "update", epoch);
         });
   }
   LOG_INFO("agent " << user_id_ << " logged in (logging="
@@ -205,6 +208,32 @@ Result<std::vector<std::string>> RockFsAgent::readdir(const std::string& prefix)
 
 void RockFsAgent::drain_background() {
   if (fs_) fs_->drain_background();
+}
+
+Status RockFsAgent::lock(const std::string& path) {
+  if (!fs_) return not_logged_in();
+  return fs_->lock(path);
+}
+
+Status RockFsAgent::unlock(const std::string& path) {
+  if (!fs_) return not_logged_in();
+  return fs_->unlock(path);
+}
+
+std::optional<std::uint64_t> RockFsAgent::held_epoch(const std::string& path) const {
+  if (!fs_) return std::nullopt;
+  return fs_->held_epoch(path);
+}
+
+void RockFsAgent::trust_writer(const Bytes& public_key) {
+  for (const auto& w : options_.trusted_writers) {
+    if (w == public_key) {
+      if (storage_) storage_->add_trusted_writer(public_key);
+      return;
+    }
+  }
+  options_.trusted_writers.push_back(public_key);
+  if (storage_) storage_->add_trusted_writer(public_key);
 }
 
 Status RockFsAgent::write_file(const std::string& path, BytesView content) {

@@ -40,6 +40,12 @@ struct AgentOptions {
   /// path consult it, and a fired crash tears the session down exactly like
   /// a dead client process (the API call reports kCrashed).
   sim::CrashSchedulePtr crash;
+  /// Lease TTL for advisory locks (scfs/lease.h); an expired lease is
+  /// evictable by any contender.
+  std::int64_t lease_ttl_us = 30'000'000;
+  /// Fencing epochs on the close path (scfs/lease.h). Off reproduces the
+  /// PR 3 close pipeline byte-for-byte (bench baseline).
+  bool fencing = true;
 };
 
 /// Where the agent finds PVSS share-holder keys at login time. The device
@@ -83,6 +89,19 @@ class RockFsAgent {
   Result<std::vector<std::string>> readdir(const std::string& prefix);
   void drain_background();
 
+  // ---- advisory locking (lease + fencing epoch, scfs/lease.h) ----
+
+  Status lock(const std::string& path);
+  Status unlock(const std::string& path);
+  /// Lease epoch this session believes it holds for `path` (stale after an
+  /// eviction — the fencing check is what catches the divergence).
+  std::optional<std::uint64_t> held_epoch(const std::string& path) const;
+
+  /// Trusts `public_key` as a DepSky metadata signer, now and for future
+  /// logins: required for reading files last written by another user of a
+  /// shared namespace.
+  void trust_writer(const Bytes& public_key);
+
   /// Convenience: create-or-open + overwrite content + close.
   Status write_file(const std::string& path, BytesView content);
   /// Convenience: open + read-all + close.
@@ -109,6 +128,10 @@ class RockFsAgent {
   AgentOptions options_;
   std::vector<crypto::Point> holder_pubs_;
   std::size_t holder_threshold_;
+  /// Login counter: each login is a distinct session ("u-s1", "u-s2", ...),
+  /// so a relogin after a crash cannot silently reuse its predecessor's
+  /// lease — it must renew through the normal eviction path.
+  std::uint64_t logins_ = 0;
 
   // Populated by login(), torn down by logout(). The keystore lives here,
   // in "RAM", only.

@@ -21,6 +21,8 @@ Deployment::Deployment(DeploymentOptions options)
   // Spans across this deployment's stack stamp their start times from the
   // deployment's virtual clock.
   obs::tracer().bind_clock(clock_);
+  // Hangs (arm_hang) advance this clock; crashes need no clock.
+  crash_->bind_clock(clock_);
 }
 
 RockFsAgent& Deployment::add_user(const std::string& user_id) {
@@ -87,6 +89,16 @@ RockFsAgent& Deployment::add_user(const std::string& user_id, const AgentOptions
   secrets_[user_id] = std::move(us);
   agents_[user_id] = std::move(agent);
 
+  // Shared-namespace writer roster: every user trusts every other user's
+  // DepSky signer, so a file last written by a peer verifies at read time.
+  const Bytes new_pub = crypto::point_encode(secrets_[user_id].user_public_key);
+  for (auto& [other_id, other_agent] : agents_) {
+    if (other_id == user_id) continue;
+    other_agent->trust_writer(new_pub);
+    agents_[user_id]->trust_writer(
+        crypto::point_encode(secrets_[other_id].user_public_key));
+  }
+
   if (auto st = login_default(user_id); !st.ok()) {
     throw std::runtime_error("Deployment::add_user: login failed: " + st.error().message);
   }
@@ -143,14 +155,23 @@ RecoveryService Deployment::make_recovery_service(const std::string& user_id) {
   RecoveryConfig cfg;
   cfg.user_chain_keys = us.chain_keys;
   cfg.admin_tokens = admin_tokens();
+  // The admin holds every user's setup keys: recover_shared_file audits and
+  // merges all writers' chains over a shared file.
+  for (const auto& [other_id, other_secrets] : secrets_) {
+    if (other_id != user_id) cfg.peer_chain_keys[other_id] = other_secrets.chain_keys;
+  }
 
   depsky::DepSkyConfig storage_cfg;
   storage_cfg.clouds = clouds_;
   storage_cfg.f = options_.f;
   storage_cfg.protocol = options_.agent.protocol;
   storage_cfg.writer = admin_keys_;
-  // The admin reads units written by the user: trust the user's signer.
-  storage_cfg.trusted_writers.push_back(crypto::point_encode(us.user_public_key));
+  // The admin reads units written by any user: trust every signer.
+  for (const auto& [other_id, other_secrets] : secrets_) {
+    (void)other_id;
+    storage_cfg.trusted_writers.push_back(
+        crypto::point_encode(other_secrets.user_public_key));
+  }
   auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
                                                         setup_drbg_.generate(32));
   RecoveryService service(user_id, std::move(cfg), std::move(storage), coordination_,

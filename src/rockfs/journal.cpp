@@ -15,13 +15,13 @@ namespace {
 constexpr const char* kJournalTag = "rockjournal";
 
 coord::Template intent_pattern(const std::string& user, std::uint64_t seq) {
-  return coord::Template::of(
-      {kJournalTag, user, padded_seq(seq), "*", "*", "*", "*", "*", "*", "*"});
+  return coord::Template::of({kJournalTag, user, padded_seq(seq), "*", "*", "*", "*",
+                              "*", "*", "*", "*", "*"});
 }
 
 coord::Template all_intents_pattern(const std::string& user) {
   return coord::Template::of(
-      {kJournalTag, user, "*", "*", "*", "*", "*", "*", "*", "*"});
+      {kJournalTag, user, "*", "*", "*", "*", "*", "*", "*", "*", "*", "*"});
 }
 
 coord::Tuple aggregate_tuple(const std::string& user, const fssagg::FssAggSigner& signer) {
@@ -51,11 +51,13 @@ coord::Tuple IntentJournal::to_tuple(const LogRecord& intent) {
           intent.whole_file ? "1" : "0",
           std::to_string(intent.payload_size),
           hex_encode(intent.payload_hash),
-          std::to_string(intent.timestamp_us)};
+          std::to_string(intent.timestamp_us),
+          std::to_string(intent.epoch),
+          std::to_string(intent.fence_epoch)};
 }
 
 Result<LogRecord> IntentJournal::from_tuple(const coord::Tuple& t) {
-  if (t.size() != 10 || t[0] != kJournalTag) {
+  if (t.size() != 12 || t[0] != kJournalTag) {
     return Error{ErrorCode::kCorrupted, "journal intent: malformed tuple"};
   }
   try {
@@ -69,6 +71,8 @@ Result<LogRecord> IntentJournal::from_tuple(const coord::Tuple& t) {
     r.payload_size = std::stoull(t[7]);
     r.payload_hash = hex_decode(t[8]);
     r.timestamp_us = std::stoll(t[9]);
+    r.epoch = std::stoull(t[10]);
+    r.fence_epoch = std::stoull(t[11]);
     return r;
   } catch (const std::exception& e) {
     return Error{ErrorCode::kCorrupted, std::string("journal intent: ") + e.what()};
@@ -161,6 +165,22 @@ sim::Timed<Result<JournalReplayReport>> replay_intent_journal(
   delay += intents.delay;
   if (!intents.value.ok()) return {Error{intents.value.error()}, delay};
 
+  // The slot of a rolled-back intent is reusable only if NO cloud holds any
+  // object of the unit (the log namespace is append-only, so partial garbage
+  // permanently blocks it). Shared by the discard and fenced branches.
+  const auto probe_pristine = [&](const LogRecord& intent) {
+    bool pristine = true;
+    std::vector<sim::SimClock::Micros> probe_delays;
+    const auto& clouds = storage->config().clouds;
+    for (std::size_t i = 0; i < clouds.size() && i < log_tokens.size(); ++i) {
+      auto listed = clouds[i]->list(log_tokens[i], intent.data_unit() + ".");
+      probe_delays.push_back(listed.delay);
+      if (!listed.value.ok() || !listed.value->empty()) pristine = false;
+    }
+    delay += sim::parallel_delay(probe_delays);
+    return pristine;
+  };
+
   for (const LogRecord& intent : *intents.value) {
     ++report.scanned;
     if (committed_seqs.contains(intent.seq)) {
@@ -168,6 +188,25 @@ sim::Timed<Result<JournalReplayReport>> replay_intent_journal(
       delay += cleared.delay;
       ++report.committed;
       continue;
+    }
+
+    // Fenced intent: the path's lease epoch moved past the writer's fence —
+    // the crash interleaved with an eviction, and the new holder's writes
+    // may already be committed. Nothing of this intent may enter the chain,
+    // durable payload or not: discard it without probing for adoption.
+    if (intent.fence_epoch != scfs::kNoFenceEpoch) {
+      auto fence = scfs::read_fence_epoch(*coordination, intent.path);
+      delay += fence.delay;
+      if (fence.value.ok() && *fence.value > intent.fence_epoch) {
+        const bool pristine = probe_pristine(intent);
+        auto cleared = journal.clear(intent.seq);
+        delay += cleared.delay;
+        ++report.discarded;
+        reg.counter("journal.replay.fenced").add();
+        report.divergent_paths.insert(intent.path);
+        if (!pristine) report.next_seq = std::max(report.next_seq, intent.seq + 1);
+        continue;
+      }
     }
 
     // No record: is the payload durable? (One read answers it — the digest
@@ -208,18 +247,8 @@ sim::Timed<Result<JournalReplayReport>> replay_intent_journal(
       continue;
     }
 
-    // Nothing durable: roll back. The slot is reusable only if NO cloud
-    // holds any object of the unit (the log namespace is append-only, so
-    // partial garbage permanently blocks it).
-    bool pristine = true;
-    std::vector<sim::SimClock::Micros> probe_delays;
-    const auto& clouds = storage->config().clouds;
-    for (std::size_t i = 0; i < clouds.size() && i < log_tokens.size(); ++i) {
-      auto listed = clouds[i]->list(log_tokens[i], intent.data_unit() + ".");
-      probe_delays.push_back(listed.delay);
-      if (!listed.value.ok() || !listed.value->empty()) pristine = false;
-    }
-    delay += sim::parallel_delay(probe_delays);
+    // Nothing durable: roll back.
+    const bool pristine = probe_pristine(intent);
     auto cleared = journal.clear(intent.seq);
     delay += cleared.delay;
     ++report.discarded;

@@ -53,6 +53,7 @@ Bytes LogRecord::mac_payload() const {
   append_u64(out, payload_size);
   append_lp(out, payload_hash);
   append_u64(out, static_cast<std::uint64_t>(timestamp_us));
+  append_u64(out, epoch);
   return out;
 }
 
@@ -67,12 +68,13 @@ coord::Tuple LogRecord::to_tuple() const {
           std::to_string(payload_size),
           hex_encode(payload_hash),
           std::to_string(timestamp_us),
+          std::to_string(epoch),
           hex_encode(tag.mac_a),
           hex_encode(tag.mac_b)};
 }
 
 Result<LogRecord> LogRecord::from_tuple(const coord::Tuple& t) {
-  if (t.size() != 12 || t[0] != kRecordTag) {
+  if (t.size() != 13 || t[0] != kRecordTag) {
     return Error{ErrorCode::kCorrupted, "log record: malformed tuple"};
   }
   try {
@@ -86,8 +88,9 @@ Result<LogRecord> LogRecord::from_tuple(const coord::Tuple& t) {
     r.payload_size = std::stoull(t[7]);
     r.payload_hash = hex_decode(t[8]);
     r.timestamp_us = std::stoll(t[9]);
-    r.tag.mac_a = hex_decode(t[10]);
-    r.tag.mac_b = hex_decode(t[11]);
+    r.epoch = std::stoull(t[10]);
+    r.tag.mac_a = hex_decode(t[11]);
+    r.tag.mac_b = hex_decode(t[12]);
     return r;
   } catch (const std::exception& e) {
     return Error{ErrorCode::kCorrupted, std::string("log record: ") + e.what()};
@@ -136,6 +139,7 @@ LogService::Prepared LogService::prepare(const std::string& path,
                                          const Bytes& old_content,
                                          const Bytes& new_content, std::uint64_t version,
                                          const std::string& op,
+                                         std::uint64_t fence_epoch,
                                          sim::SimClock::Micros* delay) {
   *delay += diff_compute_us(old_content.size(), new_content.size());
 
@@ -159,6 +163,8 @@ LogService::Prepared LogService::prepare(const std::string& path,
   p.record.payload_size = p.payload.size();
   p.record.payload_hash = crypto::sha256(p.payload);
   p.record.timestamp_us = clock_->now_us();
+  p.record.fence_epoch = fence_epoch;
+  p.record.epoch = fence_epoch == scfs::kNoFenceEpoch ? 0 : fence_epoch;
   p.valid = true;
   return p;
 }
@@ -167,14 +173,15 @@ sim::Timed<Status> LogService::journal_intent(const std::string& path,
                                               const Bytes& old_content,
                                               const Bytes& new_content,
                                               std::uint64_t version,
-                                              const std::string& op) {
+                                              const std::string& op,
+                                              std::uint64_t fence_epoch) {
   if (!journal_) return {Status::Ok(), 0};
   // Own span: the close path charges this whole delay to its root, so a
   // child span must carry it — its exclusive time is the diff compute, the
   // nested coord.op covers the journal record round.
   obs::Span span = obs::tracer().span("log.intent");
   sim::SimClock::Micros delay = 0;
-  prepared_ = prepare(path, old_content, new_content, version, op, &delay);
+  prepared_ = prepare(path, old_content, new_content, version, op, fence_epoch, &delay);
   auto recorded = journal_->record(prepared_.record);
   delay += recorded.delay;
   span.charge_child(static_cast<std::uint64_t>(recorded.delay));
@@ -190,7 +197,8 @@ sim::Timed<Status> LogService::journal_intent(const std::string& path,
 
 sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_content,
                                       const Bytes& new_content, std::uint64_t version,
-                                      const std::string& op) {
+                                      const std::string& op,
+                                      std::uint64_t fence_epoch) {
   obs::Span span = obs::tracer().span("log.append");
   sim::SimClock::Micros delay = 0;
   auto& reg = obs::metrics();
@@ -200,11 +208,12 @@ sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_
   // intent) inline — the unlink path and raw LogService users land here.
   Prepared prepared;
   if (prepared_.valid && prepared_.record.path == path &&
-      prepared_.record.version == version && prepared_.record.op == op) {
+      prepared_.record.version == version && prepared_.record.op == op &&
+      prepared_.record.fence_epoch == fence_epoch) {
     prepared = std::move(prepared_);
     prepared_ = Prepared{};
   } else {
-    prepared = prepare(path, old_content, new_content, version, op, &delay);
+    prepared = prepare(path, old_content, new_content, version, op, fence_epoch, &delay);
     if (journal_) {
       auto recorded = journal_->record(prepared.record);
       delay += recorded.delay;
@@ -220,6 +229,35 @@ sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_
   }
   LogRecord& record = prepared.record;
   const Bytes& payload = prepared.payload;
+
+  // Fence pre-flight (scfs/lease.h): an append whose fence epoch is below
+  // the path's current lease epoch comes from an evicted session. Refuse it
+  // before any cloud object exists — the slot stays pristine and reusable.
+  if (record.fence_epoch != scfs::kNoFenceEpoch) {
+    auto fence = scfs::read_fence_epoch(*coordination_, path);
+    delay += fence.delay;
+    span.charge_child(static_cast<std::uint64_t>(fence.delay));
+    if (!fence.value.ok()) {
+      span.set_duration(static_cast<std::uint64_t>(delay));
+      span.set_outcome(fence.value.code());
+      reg.counter("log.append.errors").add();
+      return {Status{fence.value.error()}, delay};
+    }
+    if (*fence.value > record.fence_epoch) {
+      if (journal_) {
+        auto cleared = journal_->clear(record.seq);
+        delay += cleared.delay;
+      }
+      mark_divergent(path);
+      reg.counter("log.append.fenced").add();
+      span.set_duration(static_cast<std::uint64_t>(delay));
+      span.set_outcome(ErrorCode::kFenced);
+      return {Status{ErrorCode::kFenced, "log append fenced: " + path + " epoch " +
+                                             std::to_string(record.fence_epoch) + " < " +
+                                             std::to_string(*fence.value)},
+              delay};
+    }
+  }
 
   reg.counter("log.append.count").add();
   reg.counter("log.append.bytes").add(payload.size());
@@ -264,6 +302,30 @@ sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_
     }
   }
   maybe_crash(sim::CrashPoint::kAfterLogPayloadPut);
+
+  // Fence re-check: an eviction that lands while the payload uploads must
+  // still keep the entry out of the chain. The payload is durable now, so
+  // the slot cannot be reused (append-only namespace) — skip it; the audit
+  // tolerates the gap and the next write of the path goes whole-file.
+  if (record.fence_epoch != scfs::kNoFenceEpoch) {
+    auto fence = scfs::read_fence_epoch(*coordination_, path);
+    delay += fence.delay;
+    span.charge_child(static_cast<std::uint64_t>(fence.delay));
+    if (fence.value.ok() && *fence.value > record.fence_epoch) {
+      next_seq_ = record.seq + 1;
+      pending_retry_seq_ = kNoPendingRetry;
+      mark_divergent(path);
+      if (journal_) {
+        auto cleared = journal_->clear(record.seq);
+        delay += cleared.delay;
+      }
+      reg.counter("log.append.fenced").add();
+      span.set_duration(static_cast<std::uint64_t>(delay));
+      span.set_outcome(ErrorCode::kFenced);
+      return {Status{ErrorCode::kFenced, "log append fenced post-upload: " + path},
+              delay};
+    }
+  }
 
   // 5. Seal the metadata into the forward-secure stream — on a SCRATCH
   // signer: the in-RAM chain state must not advance past what the
@@ -314,7 +376,7 @@ sim::Timed<Status> commit_log_record(coord::CoordinationService& coord,
     // failure rewrites the identical tuple instead of duplicating it.
     auto meta = coord.replace(
         coord::Template::of({kRecordTag, record.user, padded_seq(record.seq), "*", "*",
-                             "*", "*", "*", "*", "*", "*", "*"}),
+                             "*", "*", "*", "*", "*", "*", "*", "*"}),
         record.to_tuple());
     if (crash) crash->maybe_crash(sim::CrashPoint::kAfterMetaAppend);
     auto agg = coord.replace(
@@ -433,7 +495,7 @@ std::unique_ptr<LogService> make_resumed_log_service(
 sim::Timed<Result<std::vector<LogRecord>>> read_log_records(
     coord::CoordinationService& coord, const std::string& user) {
   auto all = coord.rdall(coord::Template::of(
-      {kRecordTag, user, "*", "*", "*", "*", "*", "*", "*", "*", "*", "*"}));
+      {kRecordTag, user, "*", "*", "*", "*", "*", "*", "*", "*", "*", "*", "*"}));
   if (!all.value.ok()) return {Error{all.value.error()}, all.delay};
   std::vector<LogRecord> records;
   records.reserve(all.value->size());

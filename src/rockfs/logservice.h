@@ -26,6 +26,7 @@
 #include "depsky/client.h"
 #include "diff/binary_diff.h"
 #include "fssagg/fssagg.h"
+#include "scfs/lease.h"
 #include "sim/faults.h"
 #include "sim/timed.h"
 
@@ -44,6 +45,16 @@ struct LogRecord {
   std::uint64_t payload_size = 0;
   Bytes payload_hash;          // SHA-256 of the serialized LogDelta
   std::int64_t timestamp_us = 0;
+  /// Fencing epoch stamped into lm_fu: the writer's lease epoch at close
+  /// time (0 for writers that never locked / predate fencing). Recovery
+  /// orders concurrent writers' interleaved chains by (version, epoch).
+  std::uint64_t epoch = 0;
+  /// The fence this append must pass: the append is refused (kFenced) when
+  /// the path's lease epoch has moved past it. scfs::kNoFenceEpoch opts out
+  /// (fencing disabled, the recovery admin's chain, unlink). Not part of the
+  /// committed record tuple — persisted only in the journal intent, so
+  /// replay can fence stale intents of a crashed-and-evicted session.
+  std::uint64_t fence_epoch = scfs::kNoFenceEpoch;
   fssagg::FssAggTag tag;
 
   /// Canonical bytes MACed by FssAgg (everything except the tag).
@@ -84,9 +95,17 @@ class LogService {
   /// coordination tuples commit. A payload-durable-but-uncommitted outcome
   /// reports kPartialCommit — retrying the same append adopts the durable
   /// payload instead of forking the chain.
+  ///
+  /// Fencing: with a real `fence_epoch`, the path's lease epoch is checked
+  /// both before the payload upload and before the metadata commit; if it
+  /// moved past the writer's, the append reports kFenced — before the upload
+  /// nothing exists and the slot stays pristine, after it the occupied slot
+  /// is skipped (the audit tolerates gaps). Either way the path is marked
+  /// divergent so the next append logs a whole-file entry.
   sim::Timed<Status> append(const std::string& path, const Bytes& old_content,
                             const Bytes& new_content, std::uint64_t version,
-                            const std::string& op);
+                            const std::string& op,
+                            std::uint64_t fence_epoch = scfs::kNoFenceEpoch);
 
   /// Persists the write-ahead intent for the NEXT append (close pipeline
   /// step 0: before even the file object upload — see Scfs's close intent
@@ -94,7 +113,8 @@ class LogService {
   /// call, which then skips re-journaling. No-op without a journal.
   sim::Timed<Status> journal_intent(const std::string& path, const Bytes& old_content,
                                     const Bytes& new_content, std::uint64_t version,
-                                    const std::string& op);
+                                    const std::string& op,
+                                    std::uint64_t fence_epoch = scfs::kNoFenceEpoch);
 
   std::uint64_t next_seq() const noexcept { return next_seq_; }
   const std::string& user() const noexcept { return user_id_; }
@@ -140,7 +160,8 @@ class LogService {
   };
   Prepared prepare(const std::string& path, const Bytes& old_content,
                    const Bytes& new_content, std::uint64_t version,
-                   const std::string& op, sim::SimClock::Micros* delay);
+                   const std::string& op, std::uint64_t fence_epoch,
+                   sim::SimClock::Micros* delay);
   void maybe_crash(sim::CrashPoint point) {
     if (crash_) crash_->maybe_crash(point);
   }

@@ -18,7 +18,7 @@ namespace {
 constexpr const char* kInodeTag = "scfs-inode";
 
 coord::Template inode_pattern(const std::string& path) {
-  return coord::Template::of({kInodeTag, path, "*", "*", "*", "*"});
+  return coord::Template::of({kInodeTag, path, "*", "*", "*", "*", "*"});
 }
 
 // Local patch-application throughput (client CPU), for MTTR realism.
@@ -116,11 +116,17 @@ RecoveryService::SnapshotBaseline RecoveryService::load_snapshot(
 }
 
 Result<LogAudit> RecoveryService::audit_log() {
+  return audit_chain(user_id_, config_.user_chain_keys);
+}
+
+Result<LogAudit> RecoveryService::audit_chain(const std::string& chain_user,
+                                              const fssagg::FssAggKeys& chain_keys) {
   obs::Span span = obs::tracer().span("recovery.audit");
+  span.set_label(chain_user);
   obs::metrics().counter("recovery.audits").add();
   sim::SimClock::Micros delay = 0;
 
-  auto records = read_log_records(*coordination_, user_id_);
+  auto records = read_log_records(*coordination_, chain_user);
   delay += records.delay;
   span.charge_child(static_cast<std::uint64_t>(records.delay));
   if (!records.value.ok()) {
@@ -129,7 +135,7 @@ Result<LogAudit> RecoveryService::audit_log() {
     span.set_outcome(records.value.code());
     return Error{records.value.error()};
   }
-  auto aggregates = read_aggregates(*coordination_, user_id_);
+  auto aggregates = read_aggregates(*coordination_, chain_user);
   delay += aggregates.delay;
   span.charge_child(static_cast<std::uint64_t>(aggregates.delay));
   span.set_duration(static_cast<std::uint64_t>(delay));
@@ -151,7 +157,7 @@ Result<LogAudit> RecoveryService::audit_log() {
   tagged.reserve(audit.records.size());
   for (const auto& r : audit.records) tagged.push_back({r.mac_payload(), r.tag});
   audit.report =
-      fssagg::fssagg_verify(config_.user_chain_keys, tagged, aggregates.value->agg_a,
+      fssagg::fssagg_verify(chain_keys, tagged, aggregates.value->agg_a,
                             aggregates.value->agg_b, aggregates.value->count);
   for (const std::size_t idx : audit.report.corrupt_entries) {
     audit.discarded_seqs.insert(audit.records[idx].seq);
@@ -251,28 +257,42 @@ Result<FileRecovery> RecoveryService::recover_one(const LogAudit& audit,
   result.content = std::move(content);
   if (!apply) return result;
 
-  // Step 5: push the recovered version back and bump the inode.
-  const std::string unit = "files/" + user_id_ + path;
-  auto up = storage_->write(config_.admin_tokens, unit, result.content);
+  if (auto st = commit_recovered(path, result.content, delay); !st.ok()) {
+    return Error{st.error()};
+  }
+  return result;
+}
+
+Status RecoveryService::commit_recovered(const std::string& path, const Bytes& content,
+                                         sim::SimClock::Micros* delay) {
+  // Step 5: push the recovered version back and bump the inode. The unit
+  // namespace is flat ("files" + path): files are shared, not per-user.
+  const std::string unit = "files" + path;
+  auto up = storage_->write(config_.admin_tokens, unit, content);
   *delay += up.delay;
-  if (!up.value.ok()) return Error{up.value.error()};
+  if (!up.value.ok()) return Status{up.value.error()};
 
   auto head = storage_->head_version(config_.admin_tokens, unit);
   const std::uint64_t version = head.value.ok() ? *head.value : 1;
+  // Stamp the path's current lease epoch so subsequent unfenced writers (who
+  // inherit the inode epoch at open) are not spuriously fenced.
+  auto fence = scfs::read_fence_epoch(*coordination_, path);
+  *delay += fence.delay;
+  const std::uint64_t epoch = fence.value.ok() ? *fence.value : 0;
   auto meta = coordination_->replace(
       inode_pattern(path),
-      {kInodeTag, path, std::to_string(version), std::to_string(result.content.size()),
-       user_id_, std::to_string(clock_->now_us())});
+      {kInodeTag, path, std::to_string(version), std::to_string(content.size()),
+       user_id_, std::to_string(clock_->now_us()), std::to_string(epoch)});
   *delay += meta.delay;
-  if (!meta.value.ok()) return Error{meta.value.error()};
+  if (!meta.value.ok()) return Status{meta.value.error()};
 
   // The recovery operation is itself logged (and can never be erased).
   if (recovery_log_) {
-    auto logged = recovery_log_->append(path, {}, result.content, version, "recover");
+    auto logged = recovery_log_->append(path, {}, content, version, "recover");
     *delay += logged.delay;
-    if (!logged.value.ok()) return Error{logged.value.error()};
+    if (!logged.value.ok()) return logged.value;
   }
-  return result;
+  return {};
 }
 
 Result<FileRecovery> RecoveryService::recover_file(const std::string& path,
@@ -321,6 +341,149 @@ Result<FileRecovery> RecoveryService::recover_file_at(const std::string& path,
   last_recovery_us_ = clock_->now_us() - start;
   span.set_duration(static_cast<std::uint64_t>(last_recovery_us_));
   obs::metrics().counter("recovery.files_recovered").add();
+  obs::metrics().histogram("recovery.mttr_us").record(
+      static_cast<std::uint64_t>(last_recovery_us_));
+  return result;
+}
+
+Result<FileRecovery> RecoveryService::recover_shared_file(
+    const std::string& path, const std::set<std::string>& malicious_users) {
+  obs::Span span = obs::tracer().span("recovery.recover_shared_file");
+  span.set_label(path);
+  const auto start = clock_->now_us();
+
+  // Audit every writer's chain. A chain that fails stream verification
+  // (truncation/reordering) aborts the recovery — unless its author is being
+  // dropped anyway, in which case its entries are irrelevant.
+  struct Chain {
+    std::string user;
+    LogAudit audit;
+  };
+  std::vector<Chain> chains;
+  {
+    auto own = audit_log();
+    if (!own.ok()) return Error{own.error()};
+    if (own->report.aggregate_mismatch || own->report.count_mismatch) {
+      if (!malicious_users.contains(user_id_)) {
+        return Error{ErrorCode::kIntegrity,
+                     "recovery: log stream integrity violated for " + user_id_};
+      }
+    } else {
+      chains.push_back({user_id_, std::move(*own)});
+    }
+  }
+  for (const auto& [peer, keys] : config_.peer_chain_keys) {
+    auto audit = audit_chain(peer, keys);
+    if (!audit.ok()) {
+      if (audit.code() == ErrorCode::kNotFound) continue;  // peer never wrote
+      return Error{audit.error()};
+    }
+    if (audit->report.aggregate_mismatch || audit->report.count_mismatch) {
+      if (!malicious_users.contains(peer)) {
+        return Error{ErrorCode::kIntegrity,
+                     "recovery: log stream integrity violated for " + peer};
+      }
+      continue;
+    }
+    chains.push_back({peer, std::move(*audit)});
+  }
+
+  // Collect every writer's surviving records for the file and order them by
+  // (version, epoch, timestamp, user, seq): version is the commit order the
+  // coordination service serialized, the fencing epoch breaks ties between a
+  // fenced straggler and its evictor, and the remaining keys make the order
+  // total and deterministic.
+  FileRecovery result;
+  result.path = path;
+  std::vector<const LogRecord*> merged;
+  for (const auto& c : chains) {
+    const bool drop = malicious_users.contains(c.user);
+    for (const auto& r : c.audit.records) {
+      if (r.path != path) continue;
+      if (c.audit.discarded_seqs.contains(r.seq)) {
+        ++result.skipped_invalid;
+        continue;
+      }
+      if (drop) {
+        ++result.skipped_malicious;
+        continue;
+      }
+      merged.push_back(&r);
+    }
+  }
+  if (merged.empty() && result.skipped_malicious == 0) {
+    return Error{ErrorCode::kNotFound, "recovery: no log entries for " + path};
+  }
+  std::sort(merged.begin(), merged.end(), [](const LogRecord* a, const LogRecord* b) {
+    if (a->version != b->version) return a->version < b->version;
+    if (a->epoch != b->epoch) return a->epoch < b->epoch;
+    if (a->timestamp_us != b->timestamp_us) return a->timestamp_us < b->timestamp_us;
+    if (a->user != b->user) return a->user < b->user;
+    return a->seq < b->seq;
+  });
+
+  // Batch-download the data halves and re-execute. Every cross-user write is
+  // a whole-file entry (the agent forces it when the opened base was written
+  // by someone else), so dropping a user's entries never strands a surviving
+  // delta on an unlogged base: each honest run either extends its own
+  // previous entry or restarts from a whole file.
+  sim::SimClock::Micros delay = 0;
+  struct Fetched {
+    const LogRecord* record;
+    Result<diff::LogDelta> delta;
+  };
+  std::vector<Fetched> fetched;
+  std::vector<sim::SimClock::Micros> download_delays;
+  for (const LogRecord* r : merged) {
+    auto payload = storage_->read(config_.admin_tokens, r->data_unit());
+    if (!payload.value.ok() && payload.value.code() == ErrorCode::kUnavailable) {
+      payload = storage_->read_archived(config_.admin_tokens, r->data_unit());
+    }
+    download_delays.push_back(payload.delay);
+    if (!payload.value.ok() ||
+        !ct_equal(crypto::sha256(*payload.value), r->payload_hash)) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    auto unwrapped = unwrap_log_payload(*payload.value);
+    if (!unwrapped.ok()) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    fetched.push_back({r, diff::LogDelta::deserialize(*unwrapped)});
+  }
+  delay += sim::parallel_delay(download_delays);
+
+  Bytes content;
+  for (auto& f : fetched) {
+    if (!f.delta.ok()) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    if (f.record->op == "delete") {
+      content.clear();
+      ++result.applied;
+      continue;
+    }
+    auto next = diff::apply_log_delta(content, *f.delta);
+    delay += patch_cost(content.size() + f.delta->payload.size());
+    if (!next.ok()) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    content = std::move(*next);
+    ++result.applied;
+  }
+  result.content = std::move(content);
+
+  if (auto st = commit_recovered(path, result.content, &delay); !st.ok()) {
+    return Error{st.error()};
+  }
+  clock_->advance_us(delay);
+  last_recovery_us_ = clock_->now_us() - start;
+  span.set_duration(static_cast<std::uint64_t>(last_recovery_us_));
+  obs::metrics().counter("recovery.files_recovered").add();
+  obs::metrics().counter("recovery.shared_recoveries").add();
   obs::metrics().histogram("recovery.mttr_us").record(
       static_cast<std::uint64_t>(last_recovery_us_));
   return result;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -41,6 +42,10 @@ struct RecoveryConfig {
   std::vector<cloud::AccessToken> admin_tokens;
   /// Whether recovery operations are themselves logged (paper: always).
   bool log_recovery_ops = true;
+  /// FssAgg setup keys of OTHER users who write to the shared namespace.
+  /// recover_shared_file audits their chains too and merges all writers'
+  /// entries over one file (multi-client sessions).
+  std::map<std::string, fssagg::FssAggKeys> peer_chain_keys;
 };
 
 /// Outcome of verifying one user's whole log.
@@ -68,6 +73,21 @@ class RecoveryService {
 
   /// Step 1: fetch + FssAgg-verify the user's log. Advances the clock.
   Result<LogAudit> audit_log();
+
+  /// Same, for any chain whose setup keys the admin holds (the user's own,
+  /// a peer's from peer_chain_keys, ...). Advances the clock.
+  Result<LogAudit> audit_chain(const std::string& chain_user,
+                               const fssagg::FssAggKeys& chain_keys);
+
+  /// Multi-writer recovery over one shared file: audits this user's chain
+  /// AND every peer chain (peer_chain_keys), collects every writer's records
+  /// for `path`, orders them by (version, epoch, timestamp, user, seq),
+  /// drops all entries authored by `malicious_users`, and re-executes the
+  /// survivors. Cross-user writes are always logged whole-file (each user's
+  /// chain is self-contained), so the surviving interleaved chains converge
+  /// to the same bytes whether or not malicious entries sat between them.
+  Result<FileRecovery> recover_shared_file(const std::string& path,
+                                           const std::set<std::string>& malicious_users);
 
   /// Steps 2-4 for one file. `malicious` holds the seq numbers flagged by
   /// intrusion detection. Advances the clock by the full recovery time.
@@ -139,6 +159,11 @@ class RecoveryService {
                                    const std::set<std::uint64_t>& malicious,
                                    sim::SimClock::Micros* delay, bool apply = true,
                                    bool use_snapshots = true);
+  /// Step 5 (shared with recover_shared_file): upload the recovered content,
+  /// bump the inode (stamping the path's current fence epoch) and log the
+  /// recovery on the admin chain.
+  Status commit_recovered(const std::string& path, const Bytes& content,
+                          sim::SimClock::Micros* delay);
 
   std::string user_id_;
   RecoveryConfig config_;

@@ -1,0 +1,66 @@
+#include "scfs/lease.h"
+
+namespace rockfs::scfs {
+
+namespace {
+constexpr const char* kLeaseTag = "scfs-lease";
+}  // namespace
+
+const char* lease_tag() { return kLeaseTag; }
+
+coord::Tuple lease_tuple(const Lease& l) {
+  return {kLeaseTag,          l.path, l.holder, l.session, std::to_string(l.expiry_us),
+          std::to_string(l.epoch), l.held ? "held" : "released"};
+}
+
+Result<Lease> parse_lease(const coord::Tuple& t) {
+  if (t.size() != 7 || t[0] != kLeaseTag) {
+    return Error{ErrorCode::kCorrupted, "lease: malformed tuple"};
+  }
+  Lease l;
+  l.path = t[1];
+  l.holder = t[2];
+  l.session = t[3];
+  try {
+    l.expiry_us = std::stoll(t[4]);
+    l.epoch = std::stoull(t[5]);
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kCorrupted, "lease: malformed fields"};
+  }
+  if (t[6] != "held" && t[6] != "released") {
+    return Error{ErrorCode::kCorrupted, "lease: unknown state " + t[6]};
+  }
+  l.held = t[6] == "held";
+  return l;
+}
+
+coord::Template lease_pattern(const std::string& path) {
+  return coord::Template::of({kLeaseTag, path, "*", "*", "*", "*", "*"});
+}
+
+coord::Template lease_exact(const Lease& l) {
+  const coord::Tuple t = lease_tuple(l);
+  return coord::Template::of({t[0], t[1], t[2], t[3], t[4], t[5], t[6]});
+}
+
+sim::Timed<Result<std::optional<Lease>>> read_lease(coord::CoordinationService& coord,
+                                                    const std::string& path) {
+  auto r = coord.rdp(lease_pattern(path));
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  if (!r.value->has_value()) {
+    return {Result<std::optional<Lease>>{std::optional<Lease>{}}, r.delay};
+  }
+  auto parsed = parse_lease(**r.value);
+  if (!parsed.ok()) return {Error{parsed.error()}, r.delay};
+  return {Result<std::optional<Lease>>{std::optional<Lease>{std::move(*parsed)}}, r.delay};
+}
+
+sim::Timed<Result<std::uint64_t>> read_fence_epoch(coord::CoordinationService& coord,
+                                                   const std::string& path) {
+  auto lease = read_lease(coord, path);
+  if (!lease.value.ok()) return {Error{lease.value.error()}, lease.delay};
+  if (!lease.value->has_value()) return {Result<std::uint64_t>{0}, lease.delay};
+  return {Result<std::uint64_t>{(*lease.value)->epoch}, lease.delay};
+}
+
+}  // namespace rockfs::scfs

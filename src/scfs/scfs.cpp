@@ -10,17 +10,20 @@ namespace rockfs::scfs {
 namespace {
 
 // Tuple layout for file metadata in the coordination service:
-//   ("scfs-inode", path, version, size, owner, modified_us)
+//   ("scfs-inode", path, version, size, owner, modified_us, epoch)
+// The epoch field stamps each committed version with the fencing epoch of
+// the write that produced it (lease.h): recovery orders interleaved
+// multi-writer records by (version, epoch).
 constexpr const char* kInodeTag = "scfs-inode";
-constexpr const char* kLockTag = "scfs-lock";
 
 coord::Tuple inode_tuple(const FileStat& s) {
-  return {kInodeTag, s.path, std::to_string(s.version), std::to_string(s.size), s.owner,
-          std::to_string(s.modified_us)};
+  return {kInodeTag,          s.path, std::to_string(s.version), std::to_string(s.size),
+          s.owner,            std::to_string(s.modified_us),
+          std::to_string(s.epoch)};
 }
 
 Result<FileStat> parse_inode(const coord::Tuple& t) {
-  if (t.size() != 6 || t[0] != kInodeTag) {
+  if (t.size() != 7 || t[0] != kInodeTag) {
     return Error{ErrorCode::kCorrupted, "scfs: malformed inode tuple"};
   }
   FileStat s;
@@ -30,6 +33,7 @@ Result<FileStat> parse_inode(const coord::Tuple& t) {
     s.size = std::stoull(t[3]);
     s.owner = t[4];
     s.modified_us = std::stoll(t[5]);
+    s.epoch = std::stoull(t[6]);
   } catch (const std::exception&) {
     return Error{ErrorCode::kCorrupted, "scfs: malformed inode fields"};
   }
@@ -37,7 +41,7 @@ Result<FileStat> parse_inode(const coord::Tuple& t) {
 }
 
 coord::Template inode_pattern(const std::string& path) {
-  return coord::Template::of({kInodeTag, path, "*", "*", "*", "*"});
+  return coord::Template::of({kInodeTag, path, "*", "*", "*", "*", "*"});
 }
 
 /// Identity cache transform: what stock SCFS does (plaintext cache on disk).
@@ -67,6 +71,7 @@ Scfs::Scfs(std::shared_ptr<depsky::DepSkyClient> storage,
   close_count_ = &reg.counter("scfs.close.count");
   close_bytes_ = &reg.counter("scfs.close.bytes");
   close_errors_ = &reg.counter("scfs.close.errors");
+  close_fenced_ = &reg.counter("scfs.close.fenced");
   close_delay_us_ = &reg.histogram("scfs.close.delay_us");
 }
 
@@ -96,7 +101,11 @@ void Scfs::poke_cache(const std::string& path, Bytes raw) {
 }
 
 std::string Scfs::unit_for(const std::string& path) const {
-  return "files/" + options_.user_id + path;
+  // One shared unit per path (paths start with "/"): SCFS is a SHARED
+  // namespace, so every client maps the same file to the same data unit.
+  // File tokens are namespace-scoped, not user-prefix-bound, so cross-user
+  // reads and writes authorize; DepSky readers trust the writer roster.
+  return "files" + path;
 }
 
 sim::SimClock::Micros Scfs::local_cost(std::size_t bytes) const {
@@ -124,6 +133,7 @@ Result<Scfs::Fd> Scfs::create(const std::string& path) {
   s.size = 0;
   s.owner = options_.user_id;
   s.modified_us = clock_->now_us();
+  s.epoch = 0;
   auto cas = coordination_->cas(inode_pattern(path), inode_tuple(s));
   delay += cas.delay;
   clock_->advance_us(delay);
@@ -134,6 +144,7 @@ Result<Scfs::Fd> Scfs::create(const std::string& path) {
   OpenFile of;
   of.path = path;
   of.version = 0;
+  of.base_owner = options_.user_id;
   of.dirty = true;  // even an empty create syncs on close
   of.created = true;
   const Fd fd = next_fd_++;
@@ -152,6 +163,8 @@ Result<Scfs::Fd> Scfs::open(const std::string& path) {
   OpenFile of;
   of.path = path;
   of.version = st->version;
+  of.epoch = st->epoch;
+  of.base_owner = st->owner;
 
   bool loaded = false;
   if (options_.use_cache) {
@@ -262,19 +275,63 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   const std::uint64_t new_version = of.version + 1;
   span.set_bytes(of.content.size());
   close_bytes_->add(of.content.size());
+
+  // Fencing epoch of this write: the held lease's epoch when the caller
+  // locked the path, else the epoch observed at open (an advisory writer
+  // stays fenceable once the path has ever been locked). kNoFenceEpoch
+  // disables the checks entirely (the PR 3 close path).
+  std::uint64_t write_epoch = kNoFenceEpoch;
+  if (options_.fencing) {
+    write_epoch = of.epoch;
+    if (const auto held = held_leases_.find(of.path); held != held_leases_.end()) {
+      write_epoch = held->second;
+    }
+  }
+
   if (crash_) crash_->maybe_crash(sim::CrashPoint::kBeforeFilePut);
 
   // Local work: agent bookkeeping + write-through of the (transformed) cache.
   sim::SimClock::Micros local = local_cost(of.content.size());
+
+  // Fencing pre-flight: refuse before ANY cloud object of this close exists
+  // when the lease epoch already moved past this writer. A hang at the crash
+  // point above models exactly the stall (GC pause, partition) after which
+  // an evicted client would otherwise clobber its successor.
+  if (write_epoch != kNoFenceEpoch) {
+    auto fence = read_fence_epoch(*coordination_, of.path);
+    local += fence.delay;
+    span.charge_child(static_cast<std::uint64_t>(fence.delay));
+    if (fence.value.ok() && *fence.value > write_epoch) {
+      close_fenced_->add();
+      clock_->advance_us(local);
+      observe(local, ErrorCode::kFenced);
+      return {Status{ErrorCode::kFenced,
+                     "scfs: fenced: " + of.path + " epoch moved past writer"},
+              local};
+    }
+    // A failed fence read is not a license to commit blind; the commit-side
+    // check (log append / pre-inode) settles it.
+  }
+
   if (options_.use_cache) {
     cache_[of.path] = {transform_->protect(of.path, new_version, of.content), new_version};
   }
+
+  // Cross-user base: the version we opened was written by someone else,
+  // whose chain logged it — OUR chain has never seen those bytes. Hand the
+  // log hooks an empty base so this entry is whole-file: every user's
+  // surviving entries then re-execute without needing another user's
+  // (possibly dropped) deltas.
+  const Bytes empty_base;
+  const Bytes& log_base =
+      (!of.base_owner.empty() && of.base_owner != options_.user_id) ? empty_base
+                                                                    : of.original;
 
   // Write-ahead intent (RockFS crash consistency): persisted before ANY
   // cloud object of this close exists, serialized ahead of the pipeline.
   sim::SimClock::Micros intent_delay = 0;
   if (intent_hook_) {
-    auto intent = intent_hook_(of.path, of.original, of.content, new_version);
+    auto intent = intent_hook_(of.path, log_base, of.content, new_version, write_epoch);
     intent_delay = intent.delay;
     span.charge_child(static_cast<std::uint64_t>(intent_delay));
     if (!intent.value.ok()) {
@@ -305,7 +362,7 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   sim::SimClock::Micros pipeline = file_up.delay;
   Status interceptor_status;
   if (interceptor_) {
-    auto extra = interceptor_(of.path, of.original, of.content, new_version);
+    auto extra = interceptor_(of.path, log_base, of.content, new_version, write_epoch);
     if (!extra.value.ok()) interceptor_status = std::move(extra.value);
     // File and log pipelines run in parallel (§6.1 optimization (2)) but
     // their transfers contend for the client uplink.
@@ -313,10 +370,32 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
     pipeline = std::max(pipeline, extra.delay) +
                static_cast<sim::SimClock::Micros>(options_.uplink_contention *
                                                   static_cast<double>(shorter));
+  } else if (write_epoch != kNoFenceEpoch) {
+    // No log pipeline to carry the commit-side fence check: do it here,
+    // after the crash point above (whose hang is the eviction window),
+    // before the inode moves.
+    auto fence = read_fence_epoch(*coordination_, of.path);
+    pipeline += fence.delay;  // serialized after the upload
+    span.charge_child(static_cast<std::uint64_t>(fence.delay));
+    if (fence.value.ok() && *fence.value > write_epoch) {
+      interceptor_status = Status{
+          ErrorCode::kFenced, "scfs: fenced: " + of.path + " epoch moved past writer"};
+    }
   }
   pipeline_span.set_duration(static_cast<std::uint64_t>(pipeline));
   pipeline_span.finish();
   span.charge_child(static_cast<std::uint64_t>(pipeline));
+
+  if (interceptor_status.code() == ErrorCode::kFenced) {
+    // The commit was refused on a stale epoch: the inode must NOT move — the
+    // file's authoritative version and its log chain stay un-forked; the
+    // uploaded object is superseded garbage the next committed write buries.
+    close_fenced_->add();
+    const auto total = local + pipeline;
+    clock_->advance_us(total);
+    observe(total, ErrorCode::kFenced);
+    return {std::move(interceptor_status), total};
+  }
 
   FileStat s;
   s.path = of.path;
@@ -324,6 +403,7 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   s.size = of.content.size();
   s.owner = options_.user_id;
   s.modified_us = clock_->now_us();
+  s.epoch = write_epoch == kNoFenceEpoch ? of.epoch : write_epoch;
   auto meta = coordination_->replace(inode_pattern(of.path), inode_tuple(s));
   span.charge_child(static_cast<std::uint64_t>(meta.delay));
   if (!meta.value.ok()) {
@@ -457,7 +537,8 @@ Result<FileStat> Scfs::stat(const std::string& path) {
 }
 
 Result<std::vector<std::string>> Scfs::readdir(const std::string& prefix) {
-  auto all = coordination_->rdall(coord::Template::of({kInodeTag, "*", "*", "*", "*", "*"}));
+  auto all = coordination_->rdall(
+      coord::Template::of({kInodeTag, "*", "*", "*", "*", "*", "*"}));
   clock_->advance_us(all.delay);
   if (!all.value.ok()) return Error{all.value.error()};
   std::vector<std::string> out;
@@ -469,23 +550,124 @@ Result<std::vector<std::string>> Scfs::readdir(const std::string& prefix) {
 }
 
 Status Scfs::lock(const std::string& path) {
-  auto cas = coordination_->cas(coord::Template::of({kLockTag, path, "*"}),
-                                {kLockTag, path, options_.user_id});
-  clock_->advance_us(cas.delay);
-  if (!cas.value.ok()) return Status{cas.value.error()};
-  if (!*cas.value) return {ErrorCode::kConflict, "scfs: lock held: " + path};
+  auto& reg = obs::metrics();
+  sim::SimClock::Micros delay = 0;
+  auto cur = read_lease(*coordination_, path);
+  delay += cur.delay;
+  if (!cur.value.ok()) {
+    clock_->advance_us(delay);
+    return Status{cur.value.error()};
+  }
+
+  Lease next;
+  next.path = path;
+  next.holder = options_.user_id;
+  next.session = options_.session_id;
+  next.expiry_us = clock_->now_us() + options_.lease_ttl_us;
+  next.held = true;
+
+  if (!cur.value->has_value()) {
+    // First lock of this path ever: mint epoch 1 via CAS (the pattern arm
+    // guarantees no lease tuple snuck in since the read).
+    next.epoch = 1;
+    auto minted = coordination_->cas(lease_pattern(path), lease_tuple(next));
+    clock_->advance_us(delay + minted.delay);
+    if (!minted.value.ok()) return Status{minted.value.error()};
+    if (!*minted.value) {
+      reg.counter("scfs.lock.conflicts").add();
+      return {ErrorCode::kConflict, "scfs: lost lock race: " + path};
+    }
+    held_leases_[path] = next.epoch;
+    reg.counter("scfs.lock.acquired").add();
+    return {};
+  }
+
+  const Lease& held = **cur.value;
+  if (held.held) {
+    if (held.holder == options_.user_id && held.session == options_.session_id) {
+      // Renewal by the live holder: extend the expiry, epoch unchanged.
+      next.epoch = held.epoch;
+      auto renewed = coordination_->replace(lease_exact(held), lease_tuple(next));
+      clock_->advance_us(delay + renewed.delay);
+      if (!renewed.value.ok()) return Status{renewed.value.error()};
+      held_leases_[path] = next.epoch;
+      reg.counter("scfs.lock.renewed").add();
+      return {};
+    }
+    if (clock_->now_us() < held.expiry_us) {
+      clock_->advance_us(delay);
+      reg.counter("scfs.lock.conflicts").add();
+      return {ErrorCode::kConflict, "scfs: lease held by " + held.holder + ": " + path};
+    }
+    // Expired: the holder is presumed dead — evict it below.
+    reg.counter("scfs.lock.evictions").add();
+  }
+
+  // Takeover (eviction of an expired holder, or re-acquisition of a released
+  // lease): bump the epoch so every straggler of a previous holder is fenced.
+  // The exact-match take-and-insert pair is the CAS arm — it fails (and we
+  // report kConflict) if anyone else moved the lease since our read.
+  next.epoch = held.epoch + 1;
+  auto taken = coordination_->inp(lease_exact(held));
+  delay += taken.delay;
+  if (!taken.value.ok()) {
+    clock_->advance_us(delay);
+    return Status{taken.value.error()};
+  }
+  if (!taken.value->has_value()) {
+    clock_->advance_us(delay);
+    reg.counter("scfs.lock.conflicts").add();
+    return {ErrorCode::kConflict, "scfs: lost lock race: " + path};
+  }
+  auto put = coordination_->out(lease_tuple(next));
+  clock_->advance_us(delay + put.delay);
+  if (!put.value.ok()) return Status{put.value.error()};
+  held_leases_[path] = next.epoch;
+  reg.counter("scfs.lock.acquired").add();
   return {};
 }
 
 Status Scfs::unlock(const std::string& path) {
-  auto taken =
-      coordination_->inp(coord::Template::of({kLockTag, path, options_.user_id}));
-  clock_->advance_us(taken.delay);
-  if (!taken.value.ok()) return Status{taken.value.error()};
-  if (!taken.value->has_value()) {
-    return {ErrorCode::kNotFound, "scfs: lock not held by caller: " + path};
+  sim::SimClock::Micros delay = 0;
+  auto cur = read_lease(*coordination_, path);
+  delay += cur.delay;
+  held_leases_.erase(path);  // our belief ends either way
+  if (!cur.value.ok()) {
+    clock_->advance_us(delay);
+    return Status{cur.value.error()};
   }
+  if (!cur.value->has_value() || !(*cur.value)->held) {
+    clock_->advance_us(delay);
+    return {ErrorCode::kNotFound, "scfs: no such lock: " + path};
+  }
+  const Lease& held = **cur.value;
+  if (held.holder != options_.user_id || held.session != options_.session_id) {
+    // Held by someone else (another user, or our own crashed predecessor
+    // session): the same answer a contended lock() gives.
+    clock_->advance_us(delay);
+    return {ErrorCode::kConflict, "scfs: lock held by " + held.holder + ": " + path};
+  }
+  // Release keeps the tuple: the epoch must outlive the lock, or a later
+  // fresh acquisition would restart it and re-admit fenced writers.
+  Lease released = held;
+  released.held = false;
+  released.expiry_us = clock_->now_us();
+  auto swapped = coordination_->replace(lease_exact(held), lease_tuple(released));
+  clock_->advance_us(delay + swapped.delay);
+  if (!swapped.value.ok()) return Status{swapped.value.error()};
   return {};
+}
+
+std::optional<std::uint64_t> Scfs::held_epoch(const std::string& path) const {
+  const auto it = held_leases_.find(path);
+  if (it == held_leases_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::optional<Lease>> Scfs::lease(const std::string& path) {
+  auto r = read_lease(*coordination_, path);
+  clock_->advance_us(r.delay);
+  return std::move(r.value);
 }
 
 }  // namespace rockfs::scfs

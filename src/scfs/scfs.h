@@ -25,6 +25,7 @@
 #include "coord/service.h"
 #include "depsky/client.h"
 #include "obs/metrics.h"
+#include "scfs/lease.h"
 #include "sim/faults.h"
 #include "sim/timed.h"
 
@@ -55,12 +56,26 @@ struct FileStat {
   std::uint64_t size = 0;
   std::string owner;
   std::int64_t modified_us = 0;
+  /// Fencing epoch of the write that produced this version (0 = written
+  /// before the path was ever locked). See scfs/lease.h.
+  std::uint64_t epoch = 0;
 };
 
 struct ScfsOptions {
   SyncMode sync_mode = SyncMode::kNonBlocking;
   bool use_cache = true;
   std::string user_id = "user";
+  /// Session id: distinguishes re-logins of the same user. A lease names
+  /// (holder, session), so a restarted client cannot silently reuse a lease
+  /// its crashed predecessor still holds — it must wait out or evict it.
+  std::string session_id = "s0";
+  /// Lease TTL in virtual time; an expired lease is evictable by any
+  /// contender (see scfs/lease.h).
+  std::int64_t lease_ttl_us = 30'000'000;
+  /// Fencing: closes stamp the writer's epoch into the metadata and refuse
+  /// commit (kFenced) when the path's lease epoch has moved past it. Off =
+  /// the PR 3 close path, byte-for-byte (bench baseline).
+  bool fencing = true;
   /// Local client-side costs (charged in both modes).
   std::int64_t local_op_cost_us = 1'500;         // syscall + agent bookkeeping
   double local_disk_bytes_per_sec = 150e6;       // cache (SSD) throughput
@@ -75,11 +90,14 @@ class Scfs {
  public:
   using Fd = int;
 
-  /// Called at close with (path, previous content, new content, new version);
-  /// its delay is overlapped with the file upload (parallel pipelines).
+  /// Called at close with (path, previous content, new content, new version,
+  /// fencing epoch); its delay is overlapped with the file upload (parallel
+  /// pipelines). The epoch is the writer's fencing epoch for this close
+  /// (kNoFenceEpoch when fencing is disabled): RockFS stamps it into the
+  /// log-entry metadata lm_fu and refuses the commit when stale.
   using CloseInterceptor = std::function<sim::Timed<Status>(
       const std::string& path, const Bytes& old_content, const Bytes& new_content,
-      std::uint64_t new_version)>;
+      std::uint64_t new_version, std::uint64_t epoch)>;
 
   Scfs(std::shared_ptr<depsky::DepSkyClient> storage,
        std::vector<cloud::AccessToken> storage_tokens,
@@ -106,10 +124,22 @@ class Scfs {
   /// Paths under `prefix`, sorted.
   Result<std::vector<std::string>> readdir(const std::string& prefix);
 
-  // ---- advisory locking via the coordination service ----
+  // ---- advisory locking: leases with fencing epochs (scfs/lease.h) ----
 
+  /// Acquires (or renews) the lease on `path`. kConflict while another
+  /// client's unexpired lease holds it; an EXPIRED lease is evicted — the
+  /// dead holder loses the lock and the fencing epoch bumps, so its
+  /// stragglers are fenced. Every fresh acquisition bumps the epoch.
   Status lock(const std::string& path);
+  /// Releases the caller's lease. kConflict when another client holds it,
+  /// kNotFound when nobody does. The lease tuple survives in the released
+  /// state: the epoch outlives the lock (monotonicity).
   Status unlock(const std::string& path);
+  /// The lease epoch this client acquired for `path`, if it believes it
+  /// holds the lock (stale after an eviction — which is the point).
+  std::optional<std::uint64_t> held_epoch(const std::string& path) const;
+  /// Current lease state of `path` (advances the clock).
+  Result<std::optional<Lease>> lease(const std::string& path);
 
   // ---- sync-mode plumbing ----
 
@@ -160,6 +190,8 @@ class Scfs {
     Bytes content;        // plaintext working copy
     Bytes original;       // content as of open (for the close interceptor)
     std::uint64_t version = 0;
+    std::uint64_t epoch = 0;   // file epoch observed at open (fencing floor)
+    std::string base_owner;    // who wrote the version we opened
     bool dirty = false;
     bool created = false;
   };
@@ -184,6 +216,10 @@ class Scfs {
 
   std::map<Fd, OpenFile> open_files_;
   std::map<std::string, CacheEntry> cache_;
+  /// Leases this client believes it holds: path -> acquired epoch. Local
+  /// belief only — eviction happens behind our back, and the fencing check
+  /// against the coordination service is what catches the divergence.
+  std::map<std::string, std::uint64_t> held_leases_;
   Fd next_fd_ = 3;
   sim::SimClock::Micros bg_complete_us_ = 0;
 
@@ -191,6 +227,7 @@ class Scfs {
   obs::Counter* close_count_ = nullptr;
   obs::Counter* close_bytes_ = nullptr;
   obs::Counter* close_errors_ = nullptr;
+  obs::Counter* close_fenced_ = nullptr;
   obs::Histogram* close_delay_us_ = nullptr;
 };
 

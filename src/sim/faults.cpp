@@ -97,8 +97,28 @@ std::uint64_t CrashSchedule::hits(CrashPoint point) const {
   return hit_counts_[static_cast<std::size_t>(point)];
 }
 
+void CrashSchedule::arm_hang(CrashPoint point, SimClock::Micros duration_us,
+                             std::uint64_t skip_hits) {
+  hang_armed_ = true;
+  hang_point_ = point;
+  hang_duration_us_ = duration_us;
+  hang_skip_remaining_ = skip_hits;
+}
+
 void CrashSchedule::maybe_crash(CrashPoint point) {
   ++hit_counts_[static_cast<std::size_t>(point)];
+  if (hang_armed_ && point == hang_point_) {
+    if (hang_skip_remaining_ > 0) {
+      --hang_skip_remaining_;
+    } else {
+      hang_armed_ = false;
+      if (!clock_) throw std::logic_error("CrashSchedule: hang fired with no clock bound");
+      clock_->advance_us(hang_duration_us_);
+      ++hangs_;
+      // The stalled client is oblivious; the rest of the world is not.
+      if (hang_hook_) hang_hook_();
+    }
+  }
   if (!armed_ || point != armed_point_) return;
   if (skip_remaining_ > 0) {
     --skip_remaining_;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -139,6 +140,14 @@ struct ClientCrash {
 /// One-shot crash trigger. arm() selects the point (and how many hits of it
 /// to let pass first); the matching maybe_crash() call throws ClientCrash
 /// and disarms, so the restarted client replays cleanly.
+///
+/// Hangs model the other way a client goes dark mid-pipeline: a GC pause, a
+/// network partition, a stalled VM. arm_hang() stalls the client at a point
+/// instead of killing it — the bound clock jumps forward by the hang
+/// duration and the pipeline then CONTINUES, oblivious that the world moved
+/// on (leases expire, contenders evict). The optional hang hook runs while
+/// the client is stalled; multi-client tests use it to interleave a
+/// contender's actions (eviction, a competing write) into the hang window.
 class CrashSchedule {
  public:
   CrashSchedule() = default;
@@ -148,13 +157,30 @@ class CrashSchedule {
   void disarm() noexcept { armed_ = false; }
   bool armed() const noexcept { return armed_; }
 
+  /// Arms a one-shot hang: the (skip_hits+1)-th consultation of `point`
+  /// advances the bound clock by `duration_us` and keeps going. Requires
+  /// bind_clock() first (throws std::logic_error when it fires unbound).
+  void arm_hang(CrashPoint point, SimClock::Micros duration_us,
+                std::uint64_t skip_hits = 0);
+  void disarm_hang() noexcept { hang_armed_ = false; }
+  bool hang_armed() const noexcept { return hang_armed_; }
+  /// Clock the hang advances. The schedule keeps only a reference; one
+  /// schedule serves every client of one deployment, which shares one clock.
+  void bind_clock(SimClockPtr clock) noexcept { clock_ = std::move(clock); }
+  /// Runs while a fired hang stalls the client, after the clock jump:
+  /// everything the rest of the world did during the stall.
+  void set_hang_hook(std::function<void()> hook) { hang_hook_ = std::move(hook); }
+
   /// Consults the schedule; throws ClientCrash when the armed crash fires.
-  /// Counts every consultation, armed or not (for tests and benches).
+  /// A fired hang advances the clock (and runs the hook) instead. Counts
+  /// every consultation, armed or not (for tests and benches).
   void maybe_crash(CrashPoint point);
 
   /// Crashes fired so far / the point of the most recent one.
   std::uint64_t crashes() const noexcept { return crashes_; }
   CrashPoint last_crash() const noexcept { return last_crash_; }
+  /// Hangs fired so far.
+  std::uint64_t hangs() const noexcept { return hangs_; }
   /// Consultations of `point` so far (for choosing skip_hits).
   std::uint64_t hits(CrashPoint point) const;
 
@@ -162,8 +188,15 @@ class CrashSchedule {
   bool armed_ = false;
   CrashPoint armed_point_ = CrashPoint::kBeforeFilePut;
   std::uint64_t skip_remaining_ = 0;
+  bool hang_armed_ = false;
+  CrashPoint hang_point_ = CrashPoint::kBeforeFilePut;
+  SimClock::Micros hang_duration_us_ = 0;
+  std::uint64_t hang_skip_remaining_ = 0;
+  SimClockPtr clock_;
+  std::function<void()> hang_hook_;
   std::uint64_t hit_counts_[kCrashPointCount] = {};
   std::uint64_t crashes_ = 0;
+  std::uint64_t hangs_ = 0;
   CrashPoint last_crash_ = CrashPoint::kBeforeFilePut;
 };
 

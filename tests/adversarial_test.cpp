@@ -21,7 +21,7 @@ TEST(AdversarialDepSky, MetadataRollbackReplayIsOutvoted) {
 
   // Capture the v1 metadata object from cloud 0.
   const auto admin = dep.admin_tokens();
-  auto old_meta = dep.clouds()[0]->get(admin[0], "files/alice/f.meta");
+  auto old_meta = dep.clouds()[0]->get(admin[0], "files/f.meta");
   ASSERT_TRUE(old_meta.value.ok());
 
   ASSERT_TRUE(alice.write_file("/f", to_bytes("version two, the real one")).ok());
@@ -30,7 +30,7 @@ TEST(AdversarialDepSky, MetadataRollbackReplayIsOutvoted) {
   // and thus the file token).
   const auto& ks = alice.keystore();
   dep.clouds()[0]
-      ->put(ks.file_tokens[0], "files/alice/f.meta", *old_meta.value)
+      ->put(ks.file_tokens[0], "files/f.meta", *old_meta.value)
       .value.expect("replay");
 
   alice.fs().clear_cache();
@@ -108,7 +108,7 @@ TEST(AdversarialCombined, AttackerCannotForgeOlderLogEntries) {
   for (std::size_t i = 0; i < dep.coordination()->replica_count(); ++i) {
     auto& replica = dep.coordination()->replica(i);
     replica.inp(coord::Template::of({"rocklog", "alice", forged.to_tuple()[2], "*", "*",
-                                     "*", "*", "*", "*", "*", "*", "*"}));
+                                     "*", "*", "*", "*", "*", "*", "*", "*"}));
     replica.out(forged.to_tuple());
   }
 

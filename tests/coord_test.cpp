@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "coord/service.h"
+#include "scfs/lease.h"
 
 namespace rockfs::coord {
 namespace {
@@ -202,6 +203,61 @@ TEST_F(ServiceFixture, DelayReflectsQuorumNotSlowest) {
   auto a = svc.out({"x", "1"});
   EXPECT_GT(a.delay, 0);
   EXPECT_LT(a.delay, 1'000'000);  // well under a second for metadata ops
+}
+
+// ------------------------------------------- lease tuples under faults
+
+TEST_F(ServiceFixture, LeaseMintUnderByzantineReplicaStaysSingleHolder) {
+  // Alice mints the path's first lease (epoch 1) via CAS; a Byzantine
+  // replica then lies about every lease read. The quorum outvotes the lie,
+  // so a contender still sees alice's live lease and its own mint CAS — the
+  // only path to a fresh epoch — fails: never two concurrent holders.
+  scfs::Lease alice{"/f", "alice", "a-s1", clock->now_us() + 30'000'000, 1, true};
+  auto minted = svc.cas(scfs::lease_pattern("/f"), scfs::lease_tuple(alice));
+  ASSERT_TRUE(minted.value.ok());
+  EXPECT_TRUE(*minted.value);
+
+  svc.replica(2).set_byzantine(true);
+  auto read = scfs::read_lease(svc, "/f");
+  ASSERT_TRUE(read.value.ok());
+  ASSERT_TRUE(read.value->has_value());
+  EXPECT_EQ((*read.value)->holder, "alice");  // the corrupted read was outvoted
+  EXPECT_EQ((*read.value)->epoch, 1u);
+  EXPECT_TRUE((*read.value)->held);
+
+  scfs::Lease bob{"/f", "bob", "b-s1", clock->now_us() + 30'000'000, 1, true};
+  auto stolen = svc.cas(scfs::lease_pattern("/f"), scfs::lease_tuple(bob));
+  ASSERT_TRUE(stolen.value.ok());
+  EXPECT_FALSE(*stolen.value);  // the tuple exists — no second mint
+}
+
+TEST_F(ServiceFixture, LeaseTakeoverUnderReplicaOutageIsStillExclusive) {
+  // With f replicas down, the lease CAS and the eviction arm (exact-match
+  // inp + out) keep working on the remaining quorum — and the inp can
+  // succeed at most once, so two contenders racing for an expired lease
+  // cannot both win.
+  svc.set_replica_down(3, true);
+
+  scfs::Lease dead{"/f", "alice", "a-s1", clock->now_us() - 1, 1, true};
+  auto minted = svc.cas(scfs::lease_pattern("/f"), scfs::lease_tuple(dead));
+  ASSERT_TRUE(minted.value.ok());
+  ASSERT_TRUE(*minted.value);
+
+  // Two contenders observe the same expired lease; both race the takeover.
+  auto first = svc.inp(scfs::lease_exact(dead));
+  ASSERT_TRUE(first.value.ok());
+  ASSERT_TRUE(first.value->has_value());
+  auto second = svc.inp(scfs::lease_exact(dead));
+  ASSERT_TRUE(second.value.ok());
+  EXPECT_FALSE(second.value->has_value());  // the loser observes the take
+
+  scfs::Lease bob{"/f", "bob", "b-s1", clock->now_us() + 30'000'000, 2, true};
+  ASSERT_TRUE(svc.out(scfs::lease_tuple(bob)).value.ok());
+  auto read = scfs::read_lease(svc, "/f");
+  ASSERT_TRUE(read.value.ok());
+  ASSERT_TRUE(read.value->has_value());
+  EXPECT_EQ((*read.value)->holder, "bob");
+  EXPECT_EQ((*read.value)->epoch, 2u);  // monotone across the eviction
 }
 
 TEST(ServiceF2, FiveFaultsConfigurationWorks) {

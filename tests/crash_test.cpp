@@ -178,6 +178,75 @@ INSTANTIATE_TEST_SUITE_P(
              "_seed" + std::to_string(std::get<1>(info.param));
     });
 
+TEST(JournalReplay, StaleFencingEpochIntentIsDiscarded) {
+  // The fourth replay outcome (beyond committed/adopted/discarded-pristine):
+  // an intent whose fencing epoch fell behind the path's lease epoch is
+  // DISCARDED even though its payload is durable and digest-matches —
+  // adopting it would fork past the eviction winner's committed version.
+  DeploymentOptions opts;
+  opts.agent.sync_mode = scfs::SyncMode::kBlocking;
+  opts.agent.lease_ttl_us = 5'000'000;
+  Deployment dep(opts);
+  auto& alice = dep.add_user("alice");
+  auto& bob = dep.add_user("bob");
+  ASSERT_TRUE(alice.write_file("/f", to_bytes("base")).ok());
+  auto before = read_log_records(*dep.coordination(), "alice");
+  ASSERT_TRUE(before.value.ok());
+  const std::size_t alice_records = before.value->size();
+
+  // Alice crashes with her lease held AFTER the payload upload: the intent
+  // is journaled with her epoch and the payload is fully durable.
+  ASSERT_TRUE(alice.lock("/f").ok());
+  dep.crash_schedule()->arm(sim::CrashPoint::kAfterLogPayloadPut);
+  ASSERT_EQ(alice.write_file("/f", to_bytes("base doomed")).code(),
+            ErrorCode::kCrashed);
+  {
+    IntentJournal journal("alice", dep.coordination());
+    auto pending = journal.pending();
+    ASSERT_TRUE(pending.value.ok());
+    ASSERT_EQ(pending.value->size(), 1u);
+    EXPECT_EQ((*pending.value)[0].fence_epoch, 1u);
+  }
+
+  // Bob evicts the dead holder (epoch 1 -> 2) and commits his version.
+  dep.clock()->advance_us(opts.agent.lease_ttl_us + 1);
+  ASSERT_TRUE(bob.lock("/f").ok());
+  ASSERT_TRUE(bob.write_file("/f", to_bytes("bob owns this now")).ok());
+  ASSERT_TRUE(bob.unlock("/f").ok());
+
+  // Relogin: replay must classify the stale intent as discarded — the
+  // journal drains but NO record is adopted onto alice's chain.
+  ASSERT_TRUE(dep.login_default("alice").ok());
+  {
+    IntentJournal journal("alice", dep.coordination());
+    auto pending = journal.pending();
+    ASSERT_TRUE(pending.value.ok());
+    EXPECT_TRUE(pending.value->empty());
+  }
+  auto after = read_log_records(*dep.coordination(), "alice");
+  ASSERT_TRUE(after.value.ok());
+  EXPECT_EQ(after.value->size(), alice_records);
+
+  alice.fs().clear_cache();
+  auto content = alice.read_file("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(to_string(*content), "bob owns this now");
+
+  // The chain still audits clean and alice keeps writing (whole-file after
+  // the divergence, so recovery never applies a delta onto a missing base).
+  auto recovery = dep.make_recovery_service("alice");
+  auto audit = recovery.audit_log();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->report.ok);
+  EXPECT_TRUE(audit->discarded_seqs.empty());
+  ASSERT_TRUE(alice.lock("/f").ok());
+  ASSERT_TRUE(alice.write_file("/f", to_bytes("alice rejoins")).ok());
+  ASSERT_TRUE(alice.unlock("/f").ok());
+  auto final_audit = recovery.audit_log();
+  ASSERT_TRUE(final_audit.ok());
+  EXPECT_TRUE(final_audit->report.ok);
+}
+
 TEST(CrashSchedule, OneShotAndSkipHits) {
   sim::CrashSchedule crash;
   crash.arm(sim::CrashPoint::kAfterFilePut, /*skip_hits=*/1);

@@ -20,9 +20,18 @@ TEST(Integration, TwoUsersShareTheNamespace) {
   auto listing = bob.readdir("/shared/");
   ASSERT_TRUE(listing.ok());
   ASSERT_EQ(listing->size(), 1u);
-  // ...but the data unit belongs to alice; bob cannot decrypt/fetch it with
-  // his own tokens (each user's units live under files/<user>).
-  EXPECT_FALSE(bob.read_file("/shared/notes.txt").ok());
+  // ...and can read it: units live in the flat shared namespace and the
+  // deployment's writer roster makes every user trust every peer's signer.
+  auto fetched = bob.read_file("/shared/notes.txt");
+  ASSERT_TRUE(fetched.ok()) << fetched.error().message;
+  EXPECT_EQ(to_string(*fetched), "from alice");
+  // Bob can write it back too; alice reads his version.
+  ASSERT_TRUE(bob.write_file("/shared/notes.txt", to_bytes("bob was here")).ok());
+  bob.drain_background();
+  alice.fs().clear_cache();
+  auto round_trip = alice.read_file("/shared/notes.txt");
+  ASSERT_TRUE(round_trip.ok()) << round_trip.error().message;
+  EXPECT_EQ(to_string(*round_trip), "bob was here");
 }
 
 TEST(Integration, LockCoordinatesWriters) {
@@ -136,7 +145,7 @@ TEST(Integration, ExpiredFileTokensSurfaceCleanly) {
   auto short_token = dep.clouds()[0]->issue_token("alice", "rockfs",
                                                   cloud::TokenScope::kFiles, 1'000'000);
   dep.clock()->advance_seconds(5);
-  EXPECT_EQ(dep.clouds()[0]->get(short_token, "files/alice/f").value.code(),
+  EXPECT_EQ(dep.clouds()[0]->get(short_token, "files/f").value.code(),
             ErrorCode::kExpired);
 }
 

@@ -14,6 +14,8 @@
 #include "depsky/client.h"
 #include "depsky/health.h"
 #include "obs/metrics.h"
+#include "scfs/lease.h"
+#include "scfs/scfs.h"
 #include "sim/faults.h"
 
 namespace rockfs {
@@ -556,6 +558,81 @@ TEST_F(DepSkyResilienceTest, DeadlineBoundsTimePerOperation) {
   clouds[3]->faults().set_transient_error_prob(1.0);
   ASSERT_TRUE(client.write(tokens, "files/f", to_bytes("data")).value.ok());
   EXPECT_GT(client.resilience_stats().deadline_hits, 0u);
+}
+
+// ------------------------------------- leases under coordination faults
+
+struct LeaseResilienceTest : ::testing::Test {
+  sim::SimClockPtr clock = std::make_shared<sim::SimClock>();
+  std::vector<cloud::CloudProviderPtr> clouds = cloud::make_provider_fleet(clock, 4, 7);
+  std::shared_ptr<coord::CoordinationService> coordination =
+      std::make_shared<coord::CoordinationService>(clock, 1, 77);
+  crypto::Drbg drbg{to_bytes("lease-resilience")};
+  std::vector<cloud::AccessToken> tokens;
+  std::shared_ptr<depsky::DepSkyClient> storage;
+
+  LeaseResilienceTest() {
+    for (auto& c : clouds) {
+      tokens.push_back(c->issue_token("users", "fs", cloud::TokenScope::kFiles));
+    }
+    depsky::DepSkyConfig cfg;
+    cfg.clouds = clouds;
+    cfg.f = 1;
+    cfg.writer = crypto::generate_keypair(drbg);
+    storage = std::make_shared<depsky::DepSkyClient>(std::move(cfg), to_bytes("s"));
+  }
+
+  scfs::Scfs make_fs(const std::string& user, const std::string& session) {
+    scfs::ScfsOptions opts;
+    opts.sync_mode = scfs::SyncMode::kBlocking;
+    opts.user_id = user;
+    opts.session_id = session;
+    opts.lease_ttl_us = 5'000'000;
+    return scfs::Scfs(storage, tokens, coordination, clock, opts);
+  }
+};
+
+TEST_F(LeaseResilienceTest, ByzantineReplicaCannotGrantTwoHolders) {
+  // One lying replica corrupts every lease read it serves; the quorum
+  // outvotes it, so a contender still observes the live lease and is
+  // refused — at no point do two clients both believe they hold the lock.
+  auto alice = make_fs("alice", "a-s1");
+  auto bob = make_fs("bob", "b-s1");
+  coordination->replica(1).set_byzantine(true);
+
+  ASSERT_TRUE(alice.lock("/f").ok());
+  EXPECT_EQ(alice.held_epoch("/f"), std::optional<std::uint64_t>{1});
+  EXPECT_EQ(bob.lock("/f").code(), ErrorCode::kConflict);
+
+  // Expiry flips the outcome: the eviction path works through the same
+  // quorum and stays exclusive (the epoch records the handover).
+  clock->advance_us(5'000'000 + 1);
+  ASSERT_TRUE(bob.lock("/f").ok());
+  EXPECT_EQ(bob.held_epoch("/f"), std::optional<std::uint64_t>{2});
+  EXPECT_EQ(alice.lock("/f").code(), ErrorCode::kConflict);
+}
+
+TEST_F(LeaseResilienceTest, ReplicaOutageDuringLeaseCasStaysExclusive) {
+  // An f-replica outage during the mint CAS neither blocks acquisition nor
+  // double-grants; when the replica rejoins, the surviving quorum's view
+  // (one holder, monotone epoch) is what reads resolve to.
+  auto alice = make_fs("alice", "a-s1");
+  auto bob = make_fs("bob", "b-s1");
+  coordination->set_replica_down(0, true);
+
+  ASSERT_TRUE(alice.lock("/f").ok());
+  EXPECT_EQ(bob.lock("/f").code(), ErrorCode::kConflict);
+  ASSERT_TRUE(alice.unlock("/f").ok());
+  ASSERT_TRUE(bob.lock("/f").ok());
+  EXPECT_EQ(bob.held_epoch("/f"), std::optional<std::uint64_t>{2});
+
+  coordination->set_replica_down(0, false);
+  auto lease = scfs::read_lease(*coordination, "/f");
+  ASSERT_TRUE(lease.value.ok());
+  ASSERT_TRUE(lease.value->has_value());
+  EXPECT_EQ((*lease.value)->holder, "bob");
+  EXPECT_EQ((*lease.value)->epoch, 2u);
+  EXPECT_TRUE((*lease.value)->held);
 }
 
 }  // namespace

@@ -420,13 +420,13 @@ TEST_F(RecoveryFixture, TamperedLogRecordIsDiscarded) {
   LogRecord forged = (*records.value)[1];
   forged.path = "/somewhere-else";  // attacker redirects the entry
   const auto pattern = coord::Template::of(
-      {"rocklog", "alice", "*", "/doc", "5", "*", "*", "*", "*", "*", "*", "*"});
+      {"rocklog", "alice", "*", "/doc", "5", "*", "*", "*", "*", "*", "*", "*", "*"});
   for (std::size_t i = 0; i < dep.coordination()->replica_count(); ++i) {
     auto& replica = dep.coordination()->replica(i);
     // Remove the genuine second record and plant the forged one.
     coord::Template exact = coord::Template::of(
         {"rocklog", "alice", (*records.value)[1].to_tuple()[2], "*", "*", "*", "*", "*",
-         "*", "*", "*", "*"});
+         "*", "*", "*", "*", "*"});
     replica.inp(exact);
     replica.out(forged.to_tuple());
   }

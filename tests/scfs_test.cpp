@@ -197,8 +197,12 @@ TEST_F(ScfsFixture, LockingIsExclusive) {
   auto bob = make_fs(SyncMode::kBlocking, "bob");
   ASSERT_TRUE(alice.lock("/f").ok());
   EXPECT_EQ(bob.lock("/f").code(), ErrorCode::kConflict);
-  EXPECT_EQ(bob.unlock("/f").code(), ErrorCode::kNotFound);  // not the holder
+  // Held by someone else: the same answer a contended lock() gives.
+  EXPECT_EQ(bob.unlock("/f").code(), ErrorCode::kConflict);
+  // kNotFound is reserved for "no such lock".
+  EXPECT_EQ(bob.unlock("/nope").code(), ErrorCode::kNotFound);
   ASSERT_TRUE(alice.unlock("/f").ok());
+  EXPECT_EQ(alice.unlock("/f").code(), ErrorCode::kNotFound);  // already released
   EXPECT_TRUE(bob.lock("/f").ok());
 }
 
@@ -270,12 +274,16 @@ TEST_F(ScfsFixture, CloseInterceptorRunsAndOverlaps) {
   bool called = false;
   Bytes seen_old, seen_new;
   fs.set_close_interceptor([&](const std::string& path, const Bytes& old_content,
-                               const Bytes& new_content, std::uint64_t version) {
+                               const Bytes& new_content, std::uint64_t version,
+                               std::uint64_t epoch) {
     called = true;
     seen_old = old_content;
     seen_new = new_content;
     EXPECT_EQ(path, "/f");
     EXPECT_EQ(version, 2u);
+    // No lease held and the path has never been locked: the write carries
+    // the epoch observed at open (0).
+    EXPECT_EQ(epoch, 0u);
     return sim::Timed<Status>{Status::Ok(), 1'000};
   });
   auto fd2 = fs.open("/f");
