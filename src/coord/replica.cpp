@@ -48,6 +48,14 @@ std::size_t Replica::replace(const Template& pattern, const Tuple& tuple) {
   return removed;
 }
 
+std::size_t Replica::swap(const Template& pattern, const Tuple& tuple) {
+  const std::size_t before = store_.size();
+  std::erase_if(store_, [&](const Tuple& t) { return pattern.matches(t); });
+  const std::size_t removed = before - store_.size();
+  if (removed > 0) out(tuple);
+  return removed;
+}
+
 std::size_t Replica::count(const Template& pattern) const {
   return static_cast<std::size_t>(
       std::count_if(store_.begin(), store_.end(),

@@ -35,6 +35,11 @@ class Replica {
   /// Atomically: remove all tuples matching `pattern`, insert `tuple`.
   /// Returns the number of removed tuples.
   std::size_t replace(const Template& pattern, const Tuple& tuple);
+  /// Conditional replace: remove all tuples matching `pattern` and insert
+  /// `tuple` ONLY if at least one matched. Returns the number removed (0 =
+  /// nothing matched, nothing inserted). The CAS arm for moving a tuple from
+  /// one exact state to another without ever destroying or duplicating it.
+  std::size_t swap(const Template& pattern, const Tuple& tuple);
   std::size_t count(const Template& pattern) const;
   std::size_t size() const noexcept { return store_.size(); }
 

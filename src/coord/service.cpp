@@ -161,6 +161,14 @@ sim::Timed<Result<std::size_t>> CoordinationService::replace(const Template& pat
   return {static_cast<std::size_t>(read_u64(*r.value, 0)), r.delay};
 }
 
+sim::Timed<Result<std::size_t>> CoordinationService::swap(const Template& pattern,
+                                                          const Tuple& tuple) {
+  auto r = execute("swap",
+                   [&](Replica& rep) { return encode_size(rep.swap(pattern, tuple)); });
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {static_cast<std::size_t>(read_u64(*r.value, 0)), r.delay};
+}
+
 sim::Timed<Result<std::size_t>> CoordinationService::count(const Template& pattern) {
   auto r = execute("count", [&](Replica& rep) {
     const std::size_t c = rep.count(pattern);

@@ -35,6 +35,9 @@ class CoordinationService {
   sim::Timed<Result<std::vector<Tuple>>> rdall(const Template& pattern);
   sim::Timed<Result<bool>> cas(const Template& pattern, const Tuple& tuple);
   sim::Timed<Result<std::size_t>> replace(const Template& pattern, const Tuple& tuple);
+  /// Conditional replace (see Replica::swap): inserts `tuple` only when
+  /// `pattern` matched something; 0 removed means the store was untouched.
+  sim::Timed<Result<std::size_t>> swap(const Template& pattern, const Tuple& tuple);
   sim::Timed<Result<std::size_t>> count(const Template& pattern);
 
   // ---- fault injection & administration ----

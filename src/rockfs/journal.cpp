@@ -197,7 +197,16 @@ sim::Timed<Result<JournalReplayReport>> replay_intent_journal(
     if (intent.fence_epoch != scfs::kNoFenceEpoch) {
       auto fence = scfs::read_fence_epoch(*coordination, intent.path);
       delay += fence.delay;
-      if (fence.value.ok() && *fence.value > intent.fence_epoch) {
+      if (!fence.value.ok()) {
+        // Fail closed: without the lease epoch we cannot tell a live intent
+        // from a fenced one — keep it pending for the next replay rather
+        // than re-adopt a possibly fenced payload.
+        ++report.deferred;
+        report.next_seq = std::max(report.next_seq, intent.seq + 1);
+        report.divergent_paths.insert(intent.path);
+        continue;
+      }
+      if (*fence.value > intent.fence_epoch) {
         const bool pristine = probe_pristine(intent);
         auto cleared = journal.clear(intent.seq);
         delay += cleared.delay;

@@ -311,7 +311,17 @@ sim::Timed<Status> LogService::append(const std::string& path, const Bytes& old_
     auto fence = scfs::read_fence_epoch(*coordination_, path);
     delay += fence.delay;
     span.charge_child(static_cast<std::uint64_t>(fence.delay));
-    if (fence.value.ok() && *fence.value > record.fence_epoch) {
+    if (!fence.value.ok()) {
+      // Fail closed: the epoch cannot be proved fresh, so the entry must not
+      // enter the chain. The payload is durable — remember the slot so the
+      // caller's retry adopts it instead of re-uploading.
+      pending_retry_seq_ = record.seq;
+      span.set_duration(static_cast<std::uint64_t>(delay));
+      span.set_outcome(fence.value.code());
+      reg.counter("log.append.errors").add();
+      return {Status{fence.value.error()}, delay};
+    }
+    if (*fence.value > record.fence_epoch) {
       next_seq_ = record.seq + 1;
       pending_retry_seq_ = kNoPendingRetry;
       mark_divergent(path);

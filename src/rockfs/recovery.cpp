@@ -477,6 +477,9 @@ Result<FileRecovery> RecoveryService::recover_shared_file(
   result.content = std::move(content);
 
   if (auto st = commit_recovered(path, result.content, &delay); !st.ok()) {
+    // The downloads and patching above still took simulated time; a failed
+    // commit must not understate MTTR or skew virtual-time behavior.
+    clock_->advance_us(delay);
     return Error{st.error()};
   }
   clock_->advance_us(delay);

@@ -361,6 +361,7 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterFilePut);
   sim::SimClock::Micros pipeline = file_up.delay;
   Status interceptor_status;
+  bool fence_unresolved = false;
   if (interceptor_) {
     auto extra = interceptor_(of.path, log_base, of.content, new_version, write_epoch);
     if (!extra.value.ok()) interceptor_status = std::move(extra.value);
@@ -377,7 +378,14 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
     auto fence = read_fence_epoch(*coordination_, of.path);
     pipeline += fence.delay;  // serialized after the upload
     span.charge_child(static_cast<std::uint64_t>(fence.delay));
-    if (fence.value.ok() && *fence.value > write_epoch) {
+    if (!fence.value.ok()) {
+      // Fail closed: without a quorum read of the lease we cannot prove the
+      // epoch still admits this writer, and the inode commit needs the
+      // coordination service anyway. Surface the (retryable) read error and
+      // leave the inode untouched rather than commit a possibly fenced write.
+      interceptor_status = Status{fence.value.error()};
+      fence_unresolved = true;
+    } else if (*fence.value > write_epoch) {
       interceptor_status = Status{
           ErrorCode::kFenced, "scfs: fenced: " + of.path + " epoch moved past writer"};
     }
@@ -386,14 +394,15 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   pipeline_span.finish();
   span.charge_child(static_cast<std::uint64_t>(pipeline));
 
-  if (interceptor_status.code() == ErrorCode::kFenced) {
-    // The commit was refused on a stale epoch: the inode must NOT move — the
-    // file's authoritative version and its log chain stay un-forked; the
-    // uploaded object is superseded garbage the next committed write buries.
-    close_fenced_->add();
+  if (interceptor_status.code() == ErrorCode::kFenced || fence_unresolved) {
+    // The commit was refused on a stale epoch (or the epoch could not be
+    // proved fresh): the inode must NOT move — the file's authoritative
+    // version and its log chain stay un-forked; the uploaded object is
+    // superseded garbage the next committed write buries.
+    if (interceptor_status.code() == ErrorCode::kFenced) close_fenced_->add();
     const auto total = local + pipeline;
     clock_->advance_us(total);
-    observe(total, ErrorCode::kFenced);
+    observe(total, interceptor_status.code());
     return {std::move(interceptor_status), total};
   }
 
@@ -585,11 +594,19 @@ Status Scfs::lock(const std::string& path) {
   const Lease& held = **cur.value;
   if (held.held) {
     if (held.holder == options_.user_id && held.session == options_.session_id) {
-      // Renewal by the live holder: extend the expiry, epoch unchanged.
+      // Renewal by the live holder: extend the expiry, epoch unchanged. The
+      // conditional swap fails (0 removed, store untouched) if the lease
+      // moved since our read — an unconditional replace would instead insert
+      // a second lease tuple for the path.
       next.epoch = held.epoch;
-      auto renewed = coordination_->replace(lease_exact(held), lease_tuple(next));
+      auto renewed = coordination_->swap(lease_exact(held), lease_tuple(next));
       clock_->advance_us(delay + renewed.delay);
       if (!renewed.value.ok()) return Status{renewed.value.error()};
+      if (*renewed.value == 0) {
+        held_leases_.erase(path);  // someone evicted us since the read
+        reg.counter("scfs.lock.conflicts").add();
+        return {ErrorCode::kConflict, "scfs: lease moved during renewal: " + path};
+      }
       held_leases_[path] = next.epoch;
       reg.counter("scfs.lock.renewed").add();
       return {};
@@ -605,23 +622,20 @@ Status Scfs::lock(const std::string& path) {
 
   // Takeover (eviction of an expired holder, or re-acquisition of a released
   // lease): bump the epoch so every straggler of a previous holder is fenced.
-  // The exact-match take-and-insert pair is the CAS arm — it fails (and we
-  // report kConflict) if anyone else moved the lease since our read.
+  // The exact-match conditional swap is the CAS arm — it fails (and we report
+  // kConflict) if anyone else moved the lease since our read, and it is a
+  // SINGLE quorum op so a coordination outage mid-takeover can never destroy
+  // the tuple (the epoch must survive the lock's lifetime; an inp-then-out
+  // pair that dies between the halves would lose it and let the next lock
+  // re-mint epoch 1, un-fencing every straggler).
   next.epoch = held.epoch + 1;
-  auto taken = coordination_->inp(lease_exact(held));
-  delay += taken.delay;
-  if (!taken.value.ok()) {
-    clock_->advance_us(delay);
-    return Status{taken.value.error()};
-  }
-  if (!taken.value->has_value()) {
-    clock_->advance_us(delay);
+  auto taken = coordination_->swap(lease_exact(held), lease_tuple(next));
+  clock_->advance_us(delay + taken.delay);
+  if (!taken.value.ok()) return Status{taken.value.error()};
+  if (*taken.value == 0) {
     reg.counter("scfs.lock.conflicts").add();
     return {ErrorCode::kConflict, "scfs: lost lock race: " + path};
   }
-  auto put = coordination_->out(lease_tuple(next));
-  clock_->advance_us(delay + put.delay);
-  if (!put.value.ok()) return Status{put.value.error()};
   held_leases_[path] = next.epoch;
   reg.counter("scfs.lock.acquired").add();
   return {};
@@ -652,9 +666,14 @@ Status Scfs::unlock(const std::string& path) {
   Lease released = held;
   released.held = false;
   released.expiry_us = clock_->now_us();
-  auto swapped = coordination_->replace(lease_exact(held), lease_tuple(released));
+  auto swapped = coordination_->swap(lease_exact(held), lease_tuple(released));
   clock_->advance_us(delay + swapped.delay);
   if (!swapped.value.ok()) return Status{swapped.value.error()};
+  if (*swapped.value == 0) {
+    // The lease moved between our read and the swap (lost race with an
+    // evictor): the store is untouched and the new holder's lease stands.
+    return {ErrorCode::kConflict, "scfs: lease moved during unlock: " + path};
+  }
   return {};
 }
 

@@ -232,10 +232,11 @@ TEST_F(ServiceFixture, LeaseMintUnderByzantineReplicaStaysSingleHolder) {
 }
 
 TEST_F(ServiceFixture, LeaseTakeoverUnderReplicaOutageIsStillExclusive) {
-  // With f replicas down, the lease CAS and the eviction arm (exact-match
-  // inp + out) keep working on the remaining quorum — and the inp can
-  // succeed at most once, so two contenders racing for an expired lease
-  // cannot both win.
+  // With f replicas down, the lease CAS and the eviction arm (a SINGLE
+  // conditional swap, not an inp-then-out pair whose second half could die
+  // and destroy the epoch) keep working on the remaining quorum — and the
+  // swap can match at most once, so two contenders racing for an expired
+  // lease cannot both win, and the loser leaves the store untouched.
   svc.set_replica_down(3, true);
 
   scfs::Lease dead{"/f", "alice", "a-s1", clock->now_us() - 1, 1, true};
@@ -244,20 +245,25 @@ TEST_F(ServiceFixture, LeaseTakeoverUnderReplicaOutageIsStillExclusive) {
   ASSERT_TRUE(*minted.value);
 
   // Two contenders observe the same expired lease; both race the takeover.
-  auto first = svc.inp(scfs::lease_exact(dead));
-  ASSERT_TRUE(first.value.ok());
-  ASSERT_TRUE(first.value->has_value());
-  auto second = svc.inp(scfs::lease_exact(dead));
-  ASSERT_TRUE(second.value.ok());
-  EXPECT_FALSE(second.value->has_value());  // the loser observes the take
-
   scfs::Lease bob{"/f", "bob", "b-s1", clock->now_us() + 30'000'000, 2, true};
-  ASSERT_TRUE(svc.out(scfs::lease_tuple(bob)).value.ok());
+  auto first = svc.swap(scfs::lease_exact(dead), scfs::lease_tuple(bob));
+  ASSERT_TRUE(first.value.ok());
+  EXPECT_EQ(*first.value, 1u);
+  scfs::Lease carol{"/f", "carol", "c-s1", clock->now_us() + 30'000'000, 2, true};
+  auto second = svc.swap(scfs::lease_exact(dead), scfs::lease_tuple(carol));
+  ASSERT_TRUE(second.value.ok());
+  EXPECT_EQ(*second.value, 0u);  // the loser observes the take, inserts nothing
+
   auto read = scfs::read_lease(svc, "/f");
   ASSERT_TRUE(read.value.ok());
   ASSERT_TRUE(read.value->has_value());
   EXPECT_EQ((*read.value)->holder, "bob");
   EXPECT_EQ((*read.value)->epoch, 2u);  // monotone across the eviction
+
+  // Exactly one lease tuple for the path survives the race.
+  auto n = svc.count(scfs::lease_pattern("/f"));
+  ASSERT_TRUE(n.value.ok());
+  EXPECT_EQ(*n.value, 1u);
 }
 
 TEST(ServiceF2, FiveFaultsConfigurationWorks) {
