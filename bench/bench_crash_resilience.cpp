@@ -115,7 +115,7 @@ void run(const BenchArgs& args) {
 
   print_header("crash-to-consistent MTTR", {"crash point", "mttr ms"});
   std::vector<MttrResult> mttrs;
-  for (std::size_t p = 0; p < sim::kCrashPointCount; ++p) {
+  for (std::size_t p = 0; p < sim::kClosePathCrashPointCount; ++p) {
     mttrs.push_back(measure_mttr(static_cast<sim::CrashPoint>(p), warm_files, seed));
     std::printf("%22s%14.1f\n", mttrs.back().point, mttrs.back().mttr_ms);
   }

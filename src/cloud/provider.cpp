@@ -1,5 +1,7 @@
 #include "cloud/provider.h"
 
+#include <algorithm>
+
 #include "crypto/hmac.h"
 #include "obs/trace.h"
 
@@ -128,6 +130,8 @@ AccessToken CloudProvider::issue_token(const std::string& user_id, const std::st
   t.issued_us = clock_->now_us();
   t.expires_us = validity_us == 0 ? 0 : clock_->now_us() + validity_us;
   t.nonce = rng_.next_u64();
+  const auto it = token_epochs_.find(user_id);
+  t.epoch = it == token_epochs_.end() ? 0 : it->second;
   t.mac = crypto::hmac_sha256(token_secret_, t.signing_payload());
   return t;
 }
@@ -136,10 +140,62 @@ void CloudProvider::revoke_token(const AccessToken& token) {
   revoked_nonces_.insert(token.nonce);
 }
 
+sim::Timed<Status> CloudProvider::apply_revocation_floor(const AccessToken& admin_token,
+                                                         const std::string& user_id,
+                                                         std::uint64_t floor) {
+  const auto actions = faults_->on_operation(sim::FaultOp::kControl);
+  const auto delay = charge(net_.rpc_delay_us(128, 64), actions);
+  if (actions.fail != ErrorCode::kOk) {
+    return {Status{actions.fail, name_ + ": " + actions.reason}, delay};
+  }
+  if (auto s = check_token(admin_token); !s.ok()) return {std::move(s), delay};
+  if (admin_token.scope != TokenScope::kAdmin) {
+    return {Status{ErrorCode::kPermissionDenied, name_ + ": revocation is admin-only"},
+            delay};
+  }
+  auto& enforced = revocation_floors_[user_id];
+  enforced = std::max(enforced, floor);  // monotone: floors never lower
+  auto& next = token_epochs_[user_id];
+  next = std::max(next, enforced);
+  return {Status::Ok(), delay};
+}
+
+sim::Timed<Result<AccessToken>> CloudProvider::reissue_token(
+    const AccessToken& admin_token, const std::string& user_id, TokenScope scope,
+    std::uint64_t floor_hint, std::int64_t validity_us) {
+  const auto actions = faults_->on_operation(sim::FaultOp::kControl);
+  const auto delay = charge(net_.rpc_delay_us(128, 128), actions);
+  if (actions.fail != ErrorCode::kOk) {
+    return {Error{actions.fail, name_ + ": " + actions.reason}, delay};
+  }
+  if (auto s = check_token(admin_token); !s.ok()) return {Error{s.error()}, delay};
+  if (admin_token.scope != TokenScope::kAdmin) {
+    return {Error{ErrorCode::kPermissionDenied, name_ + ": reissue is admin-only"}, delay};
+  }
+  auto& next = token_epochs_[user_id];
+  next = std::max(next, floor_hint);
+  return {Result<AccessToken>{issue_token(user_id, admin_token.fs_id, scope, validity_us)},
+          delay};
+}
+
+std::uint64_t CloudProvider::revocation_floor(const std::string& user_id) const {
+  const auto it = revocation_floors_.find(user_id);
+  return it == revocation_floors_.end() ? 0 : it->second;
+}
+
+std::uint64_t CloudProvider::token_epoch(const std::string& user_id) const {
+  const auto it = token_epochs_.find(user_id);
+  return it == token_epochs_.end() ? 0 : it->second;
+}
+
 Status CloudProvider::check_token(const AccessToken& token) const {
   const Bytes expected = crypto::hmac_sha256(token_secret_, token.signing_payload());
   if (!ct_equal(expected, token.mac)) {
     return {ErrorCode::kPermissionDenied, name_ + ": token MAC invalid"};
+  }
+  if (const auto floor = revocation_floors_.find(token.user_id);
+      floor != revocation_floors_.end() && token.epoch < floor->second) {
+    return {ErrorCode::kRevoked, name_ + ": token epoch below revocation floor"};
   }
   if (revoked_nonces_.contains(token.nonce)) {
     return {ErrorCode::kPermissionDenied, name_ + ": token revoked"};

@@ -47,11 +47,42 @@ class CloudProvider {
 
   // ---- token management (provider side) ----
 
-  /// Issues a token; `validity_us` 0 means no expiry.
+  /// Issues a token; `validity_us` 0 means no expiry. The token is stamped
+  /// with the user's current issuance epoch (>= any applied revocation floor).
   AccessToken issue_token(const std::string& user_id, const std::string& fs_id,
                           TokenScope scope, std::int64_t validity_us = 0);
   /// Revoked tokens fail verification from now on.
   void revoke_token(const AccessToken& token);
+
+  // ---- epoch revocation (compromise response) ----
+  //
+  // Each user has a monotone revocation floor, raised by the admin after a
+  // compromise: every operation presenting a token whose epoch is below the
+  // floor fails kRevoked, regardless of MAC validity or expiry. The floor is
+  // quorum-stored at the coordination service and pushed to each cloud
+  // individually, so a cloud in outage simply has not learned it yet — the
+  // admin retries the push after recovery and the cloud enforces from then
+  // on (fail-closed: stale tokens never regain validity).
+
+  /// Admin control op raising `user_id`'s revocation floor to at least
+  /// `floor`. Subject to the fault schedule: a cloud in outage returns
+  /// kUnavailable and the caller must retry once it recovers. Also bumps the
+  /// issuance epoch so replacement tokens minted afterwards survive the floor.
+  sim::Timed<Status> apply_revocation_floor(const AccessToken& admin_token,
+                                            const std::string& user_id,
+                                            std::uint64_t floor);
+  /// Rotation-time replacement issuance: like issue_token but subject to the
+  /// fault schedule (an unreachable cloud cannot mint) and stamped at
+  /// max(current issuance epoch, floor_hint), so the token outlives a floor
+  /// of `floor_hint` even when that floor has not reached this cloud yet.
+  sim::Timed<Result<AccessToken>> reissue_token(const AccessToken& admin_token,
+                                                const std::string& user_id,
+                                                TokenScope scope, std::uint64_t floor_hint,
+                                                std::int64_t validity_us = 0);
+  /// The floor this cloud currently enforces for `user_id` (0 = never revoked).
+  std::uint64_t revocation_floor(const std::string& user_id) const;
+  /// The epoch the next issue_token for `user_id` would carry.
+  std::uint64_t token_epoch(const std::string& user_id) const;
 
   // ---- object operations (each returns payload + simulated delay) ----
 
@@ -166,6 +197,8 @@ class CloudProvider {
   std::map<std::string, Object> objects_;
   std::map<std::string, Object> cold_;
   std::set<std::uint64_t> revoked_nonces_;
+  std::map<std::string, std::uint64_t> token_epochs_;       // next-issuance epoch
+  std::map<std::string, std::uint64_t> revocation_floors_;  // enforced floor
   sim::TrafficMeter traffic_;
   sim::FaultSchedulePtr faults_;
   OpMetrics op_metrics_[kOpKinds];

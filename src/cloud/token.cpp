@@ -19,6 +19,7 @@ Bytes AccessToken::signing_payload() const {
   append_u64(out, static_cast<std::uint64_t>(issued_us));
   append_u64(out, static_cast<std::uint64_t>(expires_us));
   append_u64(out, nonce);
+  append_u64(out, epoch);
   return out;
 }
 
@@ -43,6 +44,8 @@ Result<AccessToken> AccessToken::deserialize(BytesView b) {
     t.expires_us = static_cast<std::int64_t>(read_u64(b, off));
     off += 8;
     t.nonce = read_u64(b, off);
+    off += 8;
+    t.epoch = read_u64(b, off);
     off += 8;
     t.mac = read_lp(b, &off);
     if (off != b.size()) return Error{ErrorCode::kCorrupted, "token: trailing bytes"};

@@ -29,6 +29,7 @@ struct AccessToken {
   std::int64_t issued_us = 0;
   std::int64_t expires_us = 0;  // 0 = no expiry
   std::uint64_t nonce = 0;      // provider-chosen, makes tokens unpredictable
+  std::uint64_t epoch = 0;      // issuance epoch; dies below the revocation floor
   Bytes mac;                    // provider MAC over all fields
 
   /// Canonical byte encoding of everything except the MAC (MAC input).

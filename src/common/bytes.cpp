@@ -63,6 +63,13 @@ bool ct_equal(BytesView a, BytesView b) {
   return acc == 0;
 }
 
+void secure_zero(Bytes& b) {
+  volatile Byte* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+  b.shrink_to_fit();
+}
+
 Bytes xor_bytes(BytesView a, BytesView b) {
   if (a.size() != b.size()) throw std::invalid_argument("xor_bytes: size mismatch");
   Bytes out(a.size());

@@ -46,6 +46,11 @@ Bytes read_lp(BytesView b, std::size_t* offset);
 /// Constant-time equality, for comparing MACs and keys.
 bool ct_equal(BytesView a, BytesView b);
 
+/// Best-effort secure wipe: overwrites the buffer through a volatile pointer
+/// (so the store is not elided as dead) before clearing it. For plaintext key
+/// material that must not survive in dropped heap blocks after rotation.
+void secure_zero(Bytes& b);
+
 /// XOR of two equal-length buffers; throws std::invalid_argument on size mismatch.
 Bytes xor_bytes(BytesView a, BytesView b);
 

@@ -18,6 +18,7 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kCrashed: return "crashed";
     case ErrorCode::kPartialCommit: return "partial_commit";
     case ErrorCode::kFenced: return "fenced";
+    case ErrorCode::kRevoked: return "revoked";
   }
   return "unknown";
 }

@@ -26,6 +26,7 @@ enum class ErrorCode {
   kCrashed,           // client process died mid-operation (sim::ClientCrash)
   kPartialCommit,     // durable payload, uncommitted metadata; retry is safe
   kFenced,            // writer's fencing epoch is stale; commit refused
+  kRevoked,           // token epoch below the user's revocation floor
 };
 
 /// Human-readable name of an ErrorCode ("not_found", "integrity", ...).

@@ -59,6 +59,21 @@ FssAggSigner::FssAggSigner(FssAggKeys current, Bytes aggregate_a, Bytes aggregat
   }
 }
 
+FssAggSigner::~FssAggSigner() {
+  secure_zero(key_a_);
+  secure_zero(key_b_);
+}
+
+void FssAggSigner::rekey(FssAggKeys fresh) {
+  if (fresh.a1.size() != 32 || fresh.b1.size() != 32) {
+    throw std::invalid_argument("FssAggSigner::rekey: keys must be 32 bytes");
+  }
+  secure_zero(key_a_);
+  secure_zero(key_b_);
+  key_a_ = std::move(fresh.a1);
+  key_b_ = std::move(fresh.b1);
+}
+
 FssAggTag FssAggSigner::append(BytesView entry) {
   FssAggTag tag;
   tag.mac_a = entry_mac(key_a_, count_, entry);
@@ -76,6 +91,14 @@ FssAggTag FssAggSigner::append(BytesView entry) {
 FssAggVerifyReport fssagg_verify(const FssAggKeys& initial,
                                  const std::vector<TaggedEntry>& log, BytesView aggregate_a,
                                  BytesView aggregate_b, std::size_t expected_count) {
+  return fssagg_verify_rotated(initial, {}, log, aggregate_a, aggregate_b, expected_count);
+}
+
+FssAggVerifyReport fssagg_verify_rotated(const FssAggKeys& initial,
+                                         const std::vector<FssAggRotation>& rotations,
+                                         const std::vector<TaggedEntry>& log,
+                                         BytesView aggregate_a, BytesView aggregate_b,
+                                         std::size_t expected_count) {
   FssAggVerifyReport report;
   report.count_mismatch = log.size() != expected_count;
 
@@ -83,8 +106,14 @@ FssAggVerifyReport fssagg_verify(const FssAggKeys& initial,
   Bytes key_b = initial.b1;
   Bytes agg_a = fssagg_initial_aggregate();
   Bytes agg_b = fssagg_initial_aggregate();
+  std::size_t next_rotation = 0;
 
   for (std::size_t i = 0; i < log.size(); ++i) {
+    if (next_rotation < rotations.size() && rotations[next_rotation].at_index == i) {
+      key_a = rotations[next_rotation].keys.a1;
+      key_b = rotations[next_rotation].keys.b1;
+      ++next_rotation;
+    }
     const TaggedEntry& te = log[i];
     const Bytes want_a = entry_mac(key_a, i, te.entry);
     const Bytes want_b = entry_mac(key_b, i, te.entry);

@@ -50,9 +50,23 @@ class FssAggSigner {
   FssAggSigner(FssAggKeys current, Bytes aggregate_a, Bytes aggregate_b,
                std::size_t count);
 
+  FssAggSigner(const FssAggSigner&) = default;
+  FssAggSigner& operator=(const FssAggSigner&) = default;
+  FssAggSigner(FssAggSigner&&) = default;
+  FssAggSigner& operator=(FssAggSigner&&) = default;
+  /// Zeroizes the current keys: a scraped RAM image of a dropped signer must
+  /// not leak the chain's future key stream.
+  ~FssAggSigner();
+
   /// FssAgg.Asig + FssAgg.Upd: MACs the entry with the current keys, folds the
   /// MACs into both aggregates, evolves the keys, and returns the entry tags.
   FssAggTag append(BytesView entry);
+
+  /// Chain rotation: wipes the current keys and installs `fresh` while
+  /// keeping the aggregates and entry count, so one continuous aggregate
+  /// spans the key change. The verifier switches streams at the same index
+  /// (fssagg_verify_rotated).
+  void rekey(FssAggKeys fresh);
 
   /// Current aggregate of the A / B chain (valid over `count()` entries).
   const Bytes& aggregate_a() const noexcept { return agg_a_; }
@@ -87,6 +101,23 @@ struct FssAggVerifyReport {
 FssAggVerifyReport fssagg_verify(const FssAggKeys& initial,
                                  const std::vector<TaggedEntry>& log, BytesView aggregate_a,
                                  BytesView aggregate_b, std::size_t expected_count);
+
+/// A key rotation the verifier must honor: entries with index >= at_index are
+/// MAC'd under the stream that starts from `keys` (evolving per entry as
+/// usual); the aggregates fold straight across the boundary.
+struct FssAggRotation {
+  std::size_t at_index = 0;
+  FssAggKeys keys;
+};
+
+/// FssAgg.Aver across key rotations: like fssagg_verify, but switches to each
+/// rotation's fresh key stream at its index. Rotations must be sorted by
+/// at_index; an empty list degenerates to fssagg_verify.
+FssAggVerifyReport fssagg_verify_rotated(const FssAggKeys& initial,
+                                         const std::vector<FssAggRotation>& rotations,
+                                         const std::vector<TaggedEntry>& log,
+                                         BytesView aggregate_a, BytesView aggregate_b,
+                                         std::size_t expected_count);
 
 /// The deterministic seed value of both aggregates before any entry.
 Bytes fssagg_initial_aggregate();

@@ -56,6 +56,12 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
   if (options_.enable_cache_crypto) {
     session_keys_ = std::make_shared<SessionKeyManager>(
         user_id_, coordination_, clock_, options_.session_key_validity_us);
+    if (!keystore_->session_key.empty()) {
+      // Adopt the rotated S_U stored in the keystore. Its expiry is enforced:
+      // once past, the first cache operation mints a fresh key and every entry
+      // sealed under the stale one fails open and is refetched (§4.2.1).
+      session_keys_->seed(keystore_->session_key, keystore_->session_key_expiry_us);
+    }
     fs_->set_cache_transform(std::make_shared<SecureCacheTransform>(session_keys_, drbg_));
   }
 
@@ -69,7 +75,8 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
     log_ = make_resumed_log_service(
         user_id_, storage_, keystore_->log_tokens, coordination_, clock_,
         fssagg::FssAggKeys{keystore_->fssagg_key_a, keystore_->fssagg_key_b},
-        LogServiceOptions{options_.enable_journal, options_.crash});
+        LogServiceOptions{options_.enable_journal, options_.crash,
+                          keystore_->fssagg_base_count});
     log_->set_compression(options_.compress_log);
     fs_->set_close_intent_hook(
         [this](const std::string& path, const Bytes& old_content, const Bytes& new_content,
@@ -124,6 +131,11 @@ const Keystore& RockFsAgent::keystore() const {
 }
 
 std::uint64_t RockFsAgent::log_seq() const { return log_ ? log_->next_seq() : 0; }
+
+Bytes RockFsAgent::current_session_key() {
+  if (!session_keys_ || !drbg_) return {};
+  return session_keys_->current(*drbg_).key;
+}
 
 Result<RockFsAgent::Fd> RockFsAgent::create(const std::string& path) {
   if (!fs_) return Error{not_logged_in().error()};

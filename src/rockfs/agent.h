@@ -112,6 +112,10 @@ class RockFsAgent {
   const std::string& user_id() const noexcept { return user_id_; }
   scfs::Scfs& fs();
   const Keystore& keystore() const;
+  /// The session key S_U currently held in RAM (minted on the spot if the
+  /// cache has not forced one yet). Attack drivers use this: a compromised
+  /// device reads the key straight out of the agent's memory (threat T3).
+  Bytes current_session_key();
   /// Sequence number of the next log entry (== entries logged so far).
   std::uint64_t log_seq() const;
   const AgentOptions& options() const noexcept { return options_; }

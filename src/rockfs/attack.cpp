@@ -58,6 +58,125 @@ LogTamperReport log_tamper_attack(Deployment& deployment, const std::string& use
   return report;
 }
 
+StolenCredentialReport& StolenCredentialReport::operator+=(const StolenCredentialReport& o) {
+  write_attempts += o.write_attempts;
+  writes_accepted_pre_floor += o.writes_accepted_pre_floor;
+  writes_accepted_post_floor += o.writes_accepted_post_floor;
+  read_attempts += o.read_attempts;
+  reads_accepted_post_floor += o.reads_accepted_post_floor;
+  revoked_denials += o.revoked_denials;
+  session_replays += o.session_replays;
+  session_replays_valid += o.session_replays_valid;
+  keystore_replays += o.keystore_replays;
+  keystore_replays_live += o.keystore_replays_live;
+  return *this;
+}
+
+StolenCredentials steal_credentials(Deployment& deployment, const std::string& user_id) {
+  StolenCredentials loot;
+  auto& agent = deployment.agent(user_id);
+  loot.keystore = agent.keystore();               // scraped from the agent's RAM
+  loot.session_key = agent.current_session_key();  // live S_U, same way
+  auto& us = deployment.secrets(user_id);
+  loot.sealed = us.sealed;  // public blob; also lifted off the client disk
+  // k = 2 holder keys: the on-disk device key plus the coordination key the
+  // compromised client could fetch during a legitimate-looking login.
+  loot.holders = {us.device_holder, us.coordination_holder};
+  loot.holder_pubs = us.holder_pubs;
+  return loot;
+}
+
+namespace {
+
+/// One raw write + read probe per cloud with the given token family. Each
+/// accept is classified by whether that cloud already enforces a revocation
+/// floor above the token's epoch at probe time.
+void probe_clouds(Deployment& deployment, const std::string& user_id,
+                  const std::vector<cloud::AccessToken>& file_tokens,
+                  const std::vector<cloud::AccessToken>& log_tokens,
+                  StolenCredentialReport& report) {
+  auto& clouds = deployment.clouds();
+  const auto& clock = deployment.clock();
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    if (i >= file_tokens.size() || i >= log_tokens.size()) break;
+
+    const auto classify_write = [&](const sim::Timed<Status>& put, std::uint64_t epoch) {
+      clock->advance_us(put.delay);
+      ++report.write_attempts;
+      if (put.value.ok()) {
+        const bool enforcing = clouds[i]->revocation_floor(user_id) > epoch;
+        ++(enforcing ? report.writes_accepted_post_floor
+                     : report.writes_accepted_pre_floor);
+      } else if (put.value.code() == ErrorCode::kRevoked) {
+        ++report.revoked_denials;
+      }
+    };
+
+    const std::string probe_key = "attack/probe-" + user_id;
+    classify_write(clouds[i]->put(file_tokens[i], probe_key, to_bytes("attacker-payload")),
+                   file_tokens[i].epoch);
+    // Log tokens append into the protected namespace; a fresh key per attempt
+    // so an append-only denial cannot mask the revocation verdict.
+    classify_write(
+        clouds[i]->put(log_tokens[i],
+                       std::string(cloud::kLogPrefix) + "attack-" + user_id + "-" +
+                           std::to_string(report.write_attempts),
+                       to_bytes("attacker-entry")),
+        log_tokens[i].epoch);
+
+    ++report.read_attempts;
+    auto got = clouds[i]->get(file_tokens[i], probe_key);
+    clock->advance_us(got.delay);
+    if (got.value.ok()) {
+      if (clouds[i]->revocation_floor(user_id) > file_tokens[i].epoch) {
+        ++report.reads_accepted_post_floor;
+      }
+    } else if (got.value.code() == ErrorCode::kRevoked) {
+      ++report.revoked_denials;
+    }
+  }
+}
+
+}  // namespace
+
+StolenCredentialReport stolen_credential_attack(Deployment& deployment,
+                                                const StolenCredentials& loot) {
+  StolenCredentialReport report;
+  const std::string& user = loot.keystore.user_id;
+
+  // 1. The stolen tokens themselves, straight from the scraped keystore.
+  probe_clouds(deployment, user, loot.keystore.file_tokens, loot.keystore.log_tokens,
+               report);
+
+  // 2. Stolen-session replay: is the scraped S_U still the registered key?
+  if (!loot.session_key.empty()) {
+    ++report.session_replays;
+    auto reg = session_key_registered(*deployment.coordination(), user, loot.session_key);
+    deployment.clock()->advance_us(reg.delay);
+    if (reg.value) ++report.session_replays_valid;
+  }
+
+  // 3. Sealed-blob replay: the attacker re-unseals the copied blob offline
+  //    (they hold k holder keys) and probes whether its tokens are live. A
+  //    rotation makes this a dead end — the blob decrypts fine, but every
+  //    token inside sits below the revocation floor.
+  ++report.keystore_replays;
+  crypto::Drbg replay_drbg(to_bytes("rockfs.attack.replay." + user),
+                           to_bytes(std::to_string(deployment.clock()->now_us())));
+  auto replayed =
+      unseal_keystore(loot.sealed, loot.holders, loot.holder_pubs, /*k=*/2, replay_drbg);
+  if (replayed.ok()) {
+    const std::size_t accepted_before =
+        report.writes_accepted_pre_floor + report.writes_accepted_post_floor;
+    probe_clouds(deployment, user, replayed->file_tokens, replayed->log_tokens, report);
+    if (report.writes_accepted_pre_floor + report.writes_accepted_post_floor >
+        accepted_before) {
+      ++report.keystore_replays_live;
+    }
+  }
+  return report;
+}
+
 CacheTheftReport cache_theft_attack(RockFsAgent& victim,
                                     const std::vector<std::string>& paths,
                                     const std::string& probe) {

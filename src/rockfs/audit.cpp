@@ -20,6 +20,18 @@ double byte_entropy(BytesView data) {
   return h;
 }
 
+std::set<std::string> implicated_users(const std::vector<LogRecord>& records,
+                                       const std::set<std::uint64_t>& flagged_seqs,
+                                       const std::set<std::string>& manual_overrides) {
+  std::set<std::string> users;
+  for (const auto& r : records) {
+    if (!flagged_seqs.contains(r.seq)) continue;
+    if (manual_overrides.contains(r.user)) continue;
+    users.insert(r.user);
+  }
+  return users;
+}
+
 AuditAnalyzer::AuditAnalyzer(std::vector<LogRecord> records)
     : records_(std::move(records)) {
   std::sort(records_.begin(), records_.end(),

@@ -95,4 +95,11 @@ class AuditAnalyzer {
   std::vector<LogRecord> records_;  // seq order
 };
 
+/// Users who authored flagged records, minus any the administrator manually
+/// cleared: the input to Deployment::apply_audit_verdict (detection verdict →
+/// credential revocation trigger).
+std::set<std::string> implicated_users(const std::vector<LogRecord>& records,
+                                       const std::set<std::uint64_t>& flagged_seqs,
+                                       const std::set<std::string>& manual_overrides = {});
+
 }  // namespace rockfs::core

@@ -24,12 +24,16 @@ SessionKeyManager::SessionKeyManager(std::string user_id,
       clock_(std::move(clock)),
       validity_us_(validity_us) {}
 
+SessionKeyManager::~SessionKeyManager() { secure_zero(key_); }
+
+void SessionKeyManager::seed(Bytes key, std::int64_t expiry_us) {
+  secure_zero(key_);
+  key_ = std::move(key);
+  expiry_us_ = key_.empty() ? -1 : expiry_us;
+}
+
 void SessionKeyManager::register_key(BytesView key) {
-  // Only a digest of S_U goes to the coordination service — enough to pin
-  // the currently-valid key without disclosing it.
-  const std::string key_id = hex_encode(crypto::sha256(key));
-  auto r = coord_->replace(coord::Template::of({kSessionTag, user_id_, "*", "*"}),
-                           {kSessionTag, user_id_, key_id, std::to_string(expiry_us_)});
+  auto r = publish_session_key(*coord_, user_id_, key, expiry_us_);
   clock_->advance_us(r.delay);
   r.value.expect("session key registration");
 }
@@ -46,10 +50,28 @@ SessionKeyManager::Current SessionKeyManager::current(crypto::Drbg& drbg) {
 
 bool SessionKeyManager::valid(BytesView key) const {
   if (expiry_us_ < 0 || clock_->now_us() >= expiry_us_) return false;
-  const std::string key_id = hex_encode(crypto::sha256(key));
-  auto r = coord_->rdp(coord::Template::of({kSessionTag, user_id_, key_id, "*"}));
+  auto r = session_key_registered(*coord_, user_id_, key);
   clock_->advance_us(r.delay);
-  return r.value.ok() && r.value->has_value();
+  return r.value;
+}
+
+sim::Timed<Status> publish_session_key(coord::CoordinationService& coord,
+                                       const std::string& user_id, BytesView key,
+                                       std::int64_t expiry_us) {
+  // Only a digest of S_U goes to the coordination service — enough to pin
+  // the currently-valid key without disclosing it.
+  const std::string key_id = hex_encode(crypto::sha256(key));
+  auto r = coord.replace(coord::Template::of({kSessionTag, user_id, "*", "*"}),
+                         {kSessionTag, user_id, key_id, std::to_string(expiry_us)});
+  if (!r.value.ok()) return {Status{r.value.error()}, r.delay};
+  return {Status::Ok(), r.delay};
+}
+
+sim::Timed<bool> session_key_registered(coord::CoordinationService& coord,
+                                        const std::string& user_id, BytesView key) {
+  const std::string key_id = hex_encode(crypto::sha256(key));
+  auto r = coord.rdp(coord::Template::of({kSessionTag, user_id, key_id, "*"}));
+  return {r.value.ok() && r.value->has_value(), r.delay};
 }
 
 SecureCacheTransform::SecureCacheTransform(std::shared_ptr<SessionKeyManager> keys,

@@ -26,6 +26,13 @@ class SessionKeyManager {
  public:
   SessionKeyManager(std::string user_id, std::shared_ptr<coord::CoordinationService> coord,
                     sim::SimClockPtr clock, std::int64_t validity_us);
+  ~SessionKeyManager();
+
+  /// Adopts the keystore's stored S_U and its expiry (login flow). An
+  /// already-expired seed is kept but never served: the first current() call
+  /// mints a fresh key and reports a rotation, so every cache entry sealed
+  /// under the expired key fails open and is refetched from the cloud.
+  void seed(Bytes key, std::int64_t expiry_us);
 
   /// Current key, rotating (and registering) a fresh one if expired.
   /// The returned flag says whether a rotation happened (cache must drop).
@@ -50,6 +57,17 @@ class SessionKeyManager {
   Bytes key_;
   std::int64_t expiry_us_ = -1;
 };
+
+/// Registers `key`'s digest as the user's one currently-valid session key,
+/// replacing any previous registration (rotation-side: a stolen S_U stops
+/// validating the moment the rotated key is published).
+sim::Timed<Status> publish_session_key(coord::CoordinationService& coord,
+                                       const std::string& user_id, BytesView key,
+                                       std::int64_t expiry_us);
+
+/// Whether `key` is the user's currently registered session key.
+sim::Timed<bool> session_key_registered(coord::CoordinationService& coord,
+                                        const std::string& user_id, BytesView key);
 
 /// The encrypting CacheTransform installed into SCFS.
 class SecureCacheTransform final : public scfs::CacheTransform {

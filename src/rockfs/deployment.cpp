@@ -2,6 +2,7 @@
 
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/hex.h"
@@ -73,10 +74,11 @@ RockFsAgent& Deployment::add_user(const std::string& user_id, const AgentOptions
                             /*k=*/2, setup_drbg_);
 
   // The sealed keystore (public) is kept in the coordination service so any
-  // of the user's devices can fetch it.
+  // of the user's devices can fetch it. The third field is the keystore
+  // epoch: 0 at setup, bumped by every rotation.
   auto stored = coordination_->replace(
-      coord::Template::of({"rockks", user_id, "*"}),
-      {"rockks", user_id, base64_encode(us.sealed.serialize())});
+      coord::Template::of({"rockks", user_id, "*", "*"}),
+      {"rockks", user_id, "0", base64_encode(us.sealed.serialize())});
   clock_->advance_us(stored.delay);
   stored.value.expect("store sealed keystore");
 
@@ -150,17 +152,7 @@ std::vector<cloud::AccessToken> Deployment::admin_tokens() {
   return tokens;
 }
 
-RecoveryService Deployment::make_recovery_service(const std::string& user_id) {
-  auto& us = secrets(user_id);
-  RecoveryConfig cfg;
-  cfg.user_chain_keys = us.chain_keys;
-  cfg.admin_tokens = admin_tokens();
-  // The admin holds every user's setup keys: recover_shared_file audits and
-  // merges all writers' chains over a shared file.
-  for (const auto& [other_id, other_secrets] : secrets_) {
-    if (other_id != user_id) cfg.peer_chain_keys[other_id] = other_secrets.chain_keys;
-  }
-
+std::shared_ptr<depsky::DepSkyClient> Deployment::make_admin_storage() {
   depsky::DepSkyConfig storage_cfg;
   storage_cfg.clouds = clouds_;
   storage_cfg.f = options_.f;
@@ -172,12 +164,300 @@ RecoveryService Deployment::make_recovery_service(const std::string& user_id) {
     storage_cfg.trusted_writers.push_back(
         crypto::point_encode(other_secrets.user_public_key));
   }
-  auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
-                                                        setup_drbg_.generate(32));
-  RecoveryService service(user_id, std::move(cfg), std::move(storage), coordination_,
+  return std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
+                                                setup_drbg_.generate(32));
+}
+
+RecoveryService Deployment::make_recovery_service(const std::string& user_id) {
+  auto& us = secrets(user_id);
+  RecoveryConfig cfg;
+  cfg.user_chain_keys = us.chain_keys;
+  cfg.admin_tokens = admin_tokens();
+  // The admin holds every user's setup keys: recover_shared_file audits and
+  // merges all writers' chains over a shared file.
+  for (const auto& [other_id, other_secrets] : secrets_) {
+    if (other_id != user_id) cfg.peer_chain_keys[other_id] = other_secrets.chain_keys;
+  }
+  // Rotation metadata: the audit switches key streams at every admin-signed
+  // rotation manifest (revocation.h).
+  cfg.admin_public_key = admin_public_key();
+  cfg.chain_rotations = us.rotations;
+  for (const auto& [other_id, other_secrets] : secrets_) {
+    if (other_id != user_id) cfg.peer_chain_rotations[other_id] = other_secrets.rotations;
+  }
+
+  RecoveryService service(user_id, std::move(cfg), make_admin_storage(), coordination_,
                           clock_);
   service.set_crash_schedule(crash_);
   return service;
+}
+
+Bytes Deployment::admin_public_key() const {
+  return crypto::point_encode(admin_keys_.public_key);
+}
+
+Result<Deployment::CompromiseResponse> Deployment::respond_to_compromise(
+    const std::string& user_id) {
+  auto& us = secrets(user_id);
+  CompromiseResponse out;
+  const auto t0 = clock_->now_us();
+  try {
+    // 1. Commit the revocation floor at the coordination quorum. This is THE
+    //    lockout instant: from here on, no non-faulty cloud that has seen (or
+    //    will see, on recovery) the floor accepts the stolen token epoch, and
+    //    everything below is propagation and replacement. Monotone and
+    //    idempotent, so a crashed response re-commits harmlessly.
+    const std::uint64_t floor = us.token_epoch + 1;
+    auto committed = commit_revocation_floor(*coordination_, user_id, floor);
+    clock_->advance_us(committed.delay);
+    if (!committed.value.ok()) return Error{committed.value.error()};
+    out.floor = floor;
+    out.lockout_latency_us = static_cast<sim::SimClock::Micros>(clock_->now_us() - t0);
+    if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterRevocationFloor);
+
+    // 2. Push the floor to every cloud. A cloud in outage owes it: parked in
+    //    pending_floor and retried by propagate_revocations — fail-closed,
+    //    the cloud applies the floor on recovery before any stale token can
+    //    be accepted there again.
+    const auto admin = admin_tokens();
+    bool first_cloud = true;
+    for (std::size_t i = 0; i < clouds_.size(); ++i) {
+      auto applied = clouds_[i]->apply_revocation_floor(admin[i], user_id, floor);
+      clock_->advance_us(applied.delay);
+      if (applied.value.ok()) {
+        us.pending_floor.erase(i);
+        ++out.clouds_enforcing;
+      } else {
+        us.pending_floor[i] = floor;
+        out.clouds_pending.push_back(i);
+      }
+      if (first_cloud) {
+        first_cloud = false;
+        if (crash_) crash_->maybe_crash(sim::CrashPoint::kMidFloorPropagation);
+      }
+    }
+
+    // 3. Evict every lease the compromised user holds: stolen sessions lose
+    //    their locks and their in-flight closes fence out (scfs/lease.h).
+    auto evicted = scfs::evict_holder_leases(*coordination_, user_id);
+    clock_->advance_us(evicted.delay);
+    if (!evicted.value.ok()) return Error{evicted.value.error()};
+    out.leases_evicted = *evicted.value;
+
+    // 4. Rotate the keystore. The honest client's live session also holds
+    //    pre-floor credentials — tear it down before replacing its keystore.
+    const auto rot_start = clock_->now_us();
+    if (const auto it = agents_.find(user_id); it != agents_.end()) it->second->logout();
+
+    // Resume the user's chain admin-side: the rotate record is appended with
+    // admin credentials (the old tokens are dying; the new ones belong inside
+    // the not-yet-published keystore).
+    const fssagg::FssAggKeys& stream_keys =
+        us.rotations.empty() ? us.chain_keys : us.rotations.back().keys;
+    LogServiceOptions log_opts;
+    log_opts.key_base_count = us.rotations.empty() ? 0 : us.rotations.back().at_seq + 1;
+    auto log = make_resumed_log_service(user_id, make_admin_storage(), admin,
+                                        coordination_, clock_, stream_keys, log_opts);
+
+    auto aggs = read_aggregates(*coordination_, user_id);
+    clock_->advance_us(aggs.delay);
+    std::uint64_t chain_count = 0;
+    if (aggs.value.ok()) {
+      chain_count = aggs.value->count;
+    } else if (aggs.value.code() != ErrorCode::kNotFound) {
+      return Error{aggs.value.error()};
+    }
+
+    auto published = read_rotation_manifests(*coordination_, user_id);
+    clock_->advance_us(published.delay);
+    if (!published.value.ok()) return Error{published.value.error()};
+    std::uint64_t next_epoch = us.keystore_epoch + 1;
+    for (const auto& m : *published.value) {
+      next_epoch = std::max(next_epoch, m.rotation_epoch + 1);
+    }
+
+    // A crashed previous response may have staged (and possibly published,
+    // possibly even chain-committed) a rotation. Resume it if the chain still
+    // matches; otherwise the staging is stale and a fresh mint replaces it.
+    bool manifest_published = false;
+    bool record_committed = false;
+    if (us.pending_rotation.active) {
+      const auto& pm = us.pending_rotation.manifest;
+      for (const auto& m : *published.value) {
+        if (m.rotation_epoch == pm.rotation_epoch && m.signature == pm.signature) {
+          manifest_published = true;
+          break;
+        }
+      }
+      if (chain_count == us.pending_rotation.base_count) {
+        auto recs = read_log_records(*coordination_, user_id);
+        clock_->advance_us(recs.delay);
+        if (recs.value.ok() && !recs.value->empty() &&
+            recs.value->back().op == rotation_record_op() &&
+            recs.value->back().version == pm.rotation_epoch) {
+          record_committed = true;
+        }
+      }
+      const bool chain_unmoved = us.pending_rotation.base_count == chain_count + 1;
+      if (!record_committed && !chain_unmoved) us.pending_rotation = {};
+    }
+
+    if (!us.pending_rotation.active) {
+      // Fresh mint. Reissue both token families at the new epoch; a cloud
+      // that cannot reissue (outage) keeps its old token in the keystore —
+      // DepSky masks up to f such clouds and the next rotation refreshes.
+      auto old_ks = unseal_keystore(us.sealed,
+                                    {us.coordination_holder, us.external_holder},
+                                    us.holder_pubs, /*k=*/2, setup_drbg_);
+      if (!old_ks.ok()) return Error{old_ks.error()};
+
+      std::vector<cloud::AccessToken> file_tokens;
+      std::vector<cloud::AccessToken> log_tokens;
+      for (std::size_t i = 0; i < clouds_.size(); ++i) {
+        auto ft = clouds_[i]->reissue_token(admin[i], user_id,
+                                            cloud::TokenScope::kFiles, floor);
+        clock_->advance_us(ft.delay);
+        auto lt = clouds_[i]->reissue_token(admin[i], user_id,
+                                            cloud::TokenScope::kLogAppend, floor);
+        clock_->advance_us(lt.delay);
+        file_tokens.push_back(ft.value.ok() ? *ft.value : old_ks->file_tokens[i]);
+        log_tokens.push_back(lt.value.ok() ? *lt.value : old_ks->log_tokens[i]);
+      }
+
+      const std::int64_t session_expiry =
+          clock_->now_us() + options_.agent.session_key_validity_us;
+      us.pending_rotation.rotation = rotate_keystore(
+          *old_ks, std::move(file_tokens), std::move(log_tokens),
+          setup_drbg_.generate_key(), session_expiry, chain_count + 1,
+          {us.device_holder, us.coordination_holder, us.external_holder}, /*k=*/2,
+          setup_drbg_);
+      us.pending_rotation.manifest =
+          make_rotation_manifest(user_id, next_epoch, log->next_seq(),
+                                 us.pending_rotation.rotation.chain_keys, admin_keys_);
+      us.pending_rotation.base_count = chain_count + 1;
+      us.pending_rotation.active = true;  // staged durably BEFORE the CAS
+    }
+
+    // 5. Linearize against concurrent rotations: the manifest CAS admits
+    //    exactly one winner per (user, epoch); a loser re-signs at the next
+    //    free epoch and tries again.
+    if (!manifest_published) {
+      for (int attempt = 0;; ++attempt) {
+        auto won = publish_rotation_manifest(*coordination_, us.pending_rotation.manifest);
+        clock_->advance_us(won.delay);
+        if (!won.value.ok()) return Error{won.value.error()};
+        if (*won.value) break;
+        if (attempt >= 8) {
+          return Error{ErrorCode::kConflict,
+                       "rotation: could not win an epoch for " + user_id};
+        }
+        auto again = read_rotation_manifests(*coordination_, user_id);
+        clock_->advance_us(again.delay);
+        if (!again.value.ok()) return Error{again.value.error()};
+        for (const auto& m : *again.value) {
+          next_epoch = std::max(next_epoch, m.rotation_epoch + 1);
+        }
+        us.pending_rotation.manifest =
+            make_rotation_manifest(user_id, next_epoch, log->next_seq(),
+                                   us.pending_rotation.rotation.chain_keys, admin_keys_);
+      }
+    }
+    const RotationManifest manifest = us.pending_rotation.manifest;
+    const std::uint64_t epoch = manifest.rotation_epoch;
+
+    // 6. The signed rotation record goes into the user's own log, MAC'd with
+    //    the OUTGOING key stream — verify_chain spans the key change because
+    //    the record pins where the fresh stream begins.
+    if (!record_committed) {
+      Bytes payload = manifest.signing_payload();
+      append_lp(payload, manifest.signature);
+      auto appended =
+          log->append(rotation_record_path(), {}, payload, epoch, rotation_record_op());
+      clock_->advance_us(appended.delay);
+      if (!appended.value.ok()) return Error{appended.value.error()};
+    }
+    if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterRotationRecord);
+
+    // 7. Publish the resealed keystore (fresh PVSS deal: new polynomial,
+    //    same holders, old shares useless) and the fresh session key digest
+    //    (the stolen S_U stops validating).
+    auto stored = coordination_->replace(
+        coord::Template::of({"rockks", user_id, "*", "*"}),
+        {"rockks", user_id, std::to_string(epoch),
+         base64_encode(us.pending_rotation.rotation.sealed.serialize())});
+    clock_->advance_us(stored.delay);
+    if (!stored.value.ok()) return Error{stored.value.error()};
+    if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterKeystoreReseal);
+
+    auto session = publish_session_key(
+        *coordination_, user_id, us.pending_rotation.rotation.keystore.session_key,
+        us.pending_rotation.rotation.keystore.session_key_expiry_us);
+    clock_->advance_us(session.delay);
+    if (!session.value.ok()) return Error{session.value.error()};
+
+    // Durable adoption on the admin's disk; the staged plaintext is wiped.
+    us.rotations.push_back(
+        {epoch, us.pending_rotation.base_count - 1, us.pending_rotation.rotation.chain_keys});
+    us.sealed = us.pending_rotation.rotation.sealed;
+    us.keystore_epoch = epoch;
+    us.token_epoch = floor;
+    us.pending_rotation = {};
+    out.rotated = true;
+    out.rotation_epoch = epoch;
+
+    // 8. The honest client logs back in from the new deal (the holder keys
+    //    are unchanged — only the shares were refreshed).
+    if (agents_.contains(user_id)) {
+      auto st = login_default(user_id);
+      if (!st.ok()) st = login_with_external(user_id);
+      if (!st.ok()) return Error{st.error()};
+    }
+    out.rotation_us = static_cast<sim::SimClock::Micros>(clock_->now_us() - rot_start);
+    return out;
+  } catch (const sim::ClientCrash& crash) {
+    return Error{ErrorCode::kCrashed,
+                 std::string("compromise response crashed at ") +
+                     sim::crash_point_name(crash.point)};
+  }
+}
+
+std::size_t Deployment::propagate_revocations() {
+  std::size_t applied = 0;
+  const auto admin = admin_tokens();
+  for (auto& [user_id, us] : secrets_) {
+    for (auto it = us.pending_floor.begin(); it != us.pending_floor.end();) {
+      auto r = clouds_[it->first]->apply_revocation_floor(admin[it->first], user_id,
+                                                         it->second);
+      clock_->advance_us(r.delay);
+      if (r.value.ok()) {
+        ++applied;
+        it = us.pending_floor.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return applied;
+}
+
+Result<Deployment::VerdictOutcome> Deployment::apply_audit_verdict(
+    const std::vector<LogRecord>& records, const std::set<std::uint64_t>& flagged_seqs,
+    const std::set<std::string>& manual_overrides) {
+  VerdictOutcome out;
+  for (const auto& r : records) {
+    if (!flagged_seqs.contains(r.seq)) continue;
+    if (manual_overrides.contains(r.user)) {
+      out.overridden.insert(r.user);
+      continue;
+    }
+    if (secrets_.contains(r.user)) out.implicated.insert(r.user);
+  }
+  for (const auto& user : out.implicated) {
+    auto response = respond_to_compromise(user);
+    if (!response.ok()) return Error{response.error()};
+    out.responses[user] = *response;
+  }
+  return out;
 }
 
 LogScrubber Deployment::make_scrubber(const std::string& user_id, ScrubOptions options) {

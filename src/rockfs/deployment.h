@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,32 @@ class Deployment {
     fssagg::FssAggKeys chain_keys;         // admin's copy of (A_1, B_1)
     crypto::Point user_public_key;         // PU_U
     bool device_share_destroyed = false;
+
+    // ---- credential-revocation state (revocation.h) ----
+
+    /// Epoch of the rotated keystore currently published ("rockks" tuple);
+    /// 0 = the setup keystore.
+    std::uint64_t keystore_epoch = 0;
+    /// Epoch stamped into the tokens the current keystore holds.
+    std::uint64_t token_epoch = 0;
+    /// Clouds (by index) that still owe a floor push (they were in outage
+    /// when the admin propagated the revocation) → the floor to re-apply.
+    /// propagate_revocations drains this map; until a cloud gets its floor it
+    /// counts as faulty for the lockout property (fail-closed on recovery).
+    std::map<std::size_t, std::uint64_t> pending_floor;
+    /// Fresh chain keys of every completed rotation, epoch order (the admin's
+    /// durable copies; the audit matches them to published manifests).
+    std::vector<ChainRotationKeys> rotations;
+    /// In-flight rotation, staged on the admin's disk BEFORE the manifest CAS
+    /// so a crash after publication can never lose the fresh keys the chain
+    /// already depends on. Cleared when the rotation completes.
+    struct PendingRotation {
+      bool active = false;
+      KeystoreRotation rotation;
+      RotationManifest manifest;
+      std::uint64_t base_count = 0;  // chain index the fresh stream starts at
+    };
+    PendingRotation pending_rotation;
   };
   UserSecrets& secrets(const std::string& user_id);
 
@@ -83,7 +110,64 @@ class Deployment {
   /// Admin tokens, one per cloud.
   std::vector<cloud::AccessToken> admin_tokens();
 
+  // ---- compromise response (revocation + live keystore rotation) ----
+
+  /// What one respond_to_compromise accomplished.
+  struct CompromiseResponse {
+    std::uint64_t floor = 0;               // committed revocation floor
+    std::size_t clouds_enforcing = 0;      // clouds that applied it now
+    std::vector<std::size_t> clouds_pending;  // clouds in outage, floor owed
+    std::size_t leases_evicted = 0;
+    bool rotated = false;
+    std::uint64_t rotation_epoch = 0;
+    /// Virtual time from response start to the floor's quorum commit — once
+    /// it elapses no pre-rotation credential is accepted anywhere non-faulty.
+    sim::SimClock::Micros lockout_latency_us = 0;
+    /// Virtual time of the rotation itself (reissue → reseal → re-login).
+    sim::SimClock::Micros rotation_us = 0;
+  };
+
+  /// The full §4.1 response pipeline for one compromised user: commit the
+  /// revocation floor at the coordination quorum, push it to every reachable
+  /// cloud (unreachable ones are parked in pending_floor, fail-closed), evict
+  /// the user's leases (PR 4 fencing), rotate the keystore — fresh tokens at
+  /// the new epoch, fresh S_U, fresh FssAgg chain keys with a signed rotation
+  /// record in the log, resealed under a fresh PVSS deal — and log the honest
+  /// client back in from the new deal.
+  ///
+  /// Crash-resumable: every durable step lands in coordination tuples, cloud
+  /// state, or the UserSecrets staging area before the next crash point, so
+  /// re-invoking after kCrashed converges without double-applying. Returns
+  /// kCrashed when the armed crash schedule fires mid-pipeline.
+  Result<CompromiseResponse> respond_to_compromise(const std::string& user_id);
+
+  /// Anti-entropy: retries every pending floor push (clouds that were in
+  /// outage when their user was revoked). Returns the number applied.
+  std::size_t propagate_revocations();
+
+  /// Outcome of apply_audit_verdict.
+  struct VerdictOutcome {
+    std::set<std::string> implicated;   // users responded to
+    std::set<std::string> overridden;   // flagged but manually cleared
+    std::map<std::string, CompromiseResponse> responses;
+  };
+
+  /// Wires the intrusion detector's verdict (audit.h) into the response: the
+  /// author of every flagged record is revoked and rotated, except users the
+  /// administrator manually cleared (`manual_overrides` — the human veto over
+  /// a false positive).
+  Result<VerdictOutcome> apply_audit_verdict(
+      const std::vector<LogRecord>& records, const std::set<std::uint64_t>& flagged_seqs,
+      const std::set<std::string>& manual_overrides = {});
+
+  /// Public half of the admin keypair (verifies rotation manifests).
+  Bytes admin_public_key() const;
+
  private:
+  /// DepSky client writing as the admin and trusting every user's signer
+  /// (shared by the recovery service and the rotation pipeline).
+  std::shared_ptr<depsky::DepSkyClient> make_admin_storage();
+
   DeploymentOptions options_;
   sim::SimClockPtr clock_;
   std::vector<cloud::CloudProviderPtr> clouds_;

@@ -17,6 +17,17 @@ Bytes sealing_key(const Bytes& pvss_key, const std::string& password) {
 }
 }  // namespace
 
+void Keystore::wipe() {
+  secure_zero(user_private_key);
+  secure_zero(session_key);
+  secure_zero(fssagg_key_a);
+  secure_zero(fssagg_key_b);
+  for (auto& t : file_tokens) secure_zero(t.mac);
+  for (auto& t : log_tokens) secure_zero(t.mac);
+  file_tokens.clear();
+  log_tokens.clear();
+}
+
 Bytes Keystore::serialize() const {
   Bytes out;
   append_lp(out, to_bytes(user_id));
@@ -29,6 +40,7 @@ Bytes Keystore::serialize() const {
   append_u64(out, static_cast<std::uint64_t>(session_key_expiry_us));
   append_lp(out, fssagg_key_a);
   append_lp(out, fssagg_key_b);
+  append_u64(out, fssagg_base_count);
   return out;
 }
 
@@ -57,6 +69,8 @@ Result<Keystore> Keystore::deserialize(BytesView b) {
     off += 8;
     ks.fssagg_key_a = read_lp(b, &off);
     ks.fssagg_key_b = read_lp(b, &off);
+    ks.fssagg_base_count = read_u64(b, off);
+    off += 8;
     if (off != b.size()) return Error{ErrorCode::kCorrupted, "keystore: trailing bytes"};
     return ks;
   } catch (const std::exception& e) {
@@ -101,10 +115,36 @@ SealedKeystore seal_keystore(const Keystore& keystore,
   const crypto::Uint256 secret = crypto::scalar_from_bytes(drbg.generate(32));
   SealedKeystore out;
   out.deal = secretshare::pvss_share(secret, holder_pubs, k, drbg);
-  const Bytes pvss_key =
-      secretshare::pvss_secret_key(secretshare::pvss_public_secret(secret));
-  out.ciphertext = crypto::seal(sealing_key(pvss_key, password), keystore.serialize(),
-                                to_bytes(kSealAad), drbg.generate_iv());
+  Bytes pvss_key = secretshare::pvss_secret_key(secretshare::pvss_public_secret(secret));
+  Bytes seal_key = sealing_key(pvss_key, password);
+  Bytes plain = keystore.serialize();
+  out.ciphertext = crypto::seal(seal_key, plain, to_bytes(kSealAad), drbg.generate_iv());
+  secure_zero(plain);
+  secure_zero(seal_key);
+  secure_zero(pvss_key);
+  return out;
+}
+
+KeystoreRotation rotate_keystore(const Keystore& current,
+                                 std::vector<cloud::AccessToken> file_tokens,
+                                 std::vector<cloud::AccessToken> log_tokens,
+                                 Bytes fresh_session_key,
+                                 std::int64_t session_key_expiry_us,
+                                 std::uint64_t fssagg_base_count,
+                                 const std::vector<ShareHolder>& holders, std::size_t k,
+                                 crypto::Drbg& drbg, const std::string& password) {
+  KeystoreRotation out;
+  out.chain_keys = fssagg::fssagg_keygen(drbg);
+  out.keystore.user_id = current.user_id;
+  out.keystore.user_private_key = current.user_private_key;  // identity survives
+  out.keystore.file_tokens = std::move(file_tokens);
+  out.keystore.log_tokens = std::move(log_tokens);
+  out.keystore.session_key = std::move(fresh_session_key);
+  out.keystore.session_key_expiry_us = session_key_expiry_us;
+  out.keystore.fssagg_key_a = out.chain_keys.a1;
+  out.keystore.fssagg_key_b = out.chain_keys.b1;
+  out.keystore.fssagg_base_count = fssagg_base_count;
+  out.sealed = seal_keystore(out.keystore, holders, k, drbg, password);
   return out;
 }
 
@@ -147,11 +187,15 @@ Result<Keystore> unseal_keystore(const SealedKeystore& sealed,
   }
   auto combined = secretshare::pvss_combine(shares, k);
   if (!combined.ok()) return combined.error();
-  const Bytes pvss_key = secretshare::pvss_secret_key(*combined);
-  auto plain = crypto::open_sealed(sealing_key(pvss_key, password), sealed.ciphertext,
-                                   to_bytes(kSealAad));
+  Bytes pvss_key = secretshare::pvss_secret_key(*combined);
+  Bytes seal_key = sealing_key(pvss_key, password);
+  auto plain = crypto::open_sealed(seal_key, sealed.ciphertext, to_bytes(kSealAad));
+  secure_zero(seal_key);
+  secure_zero(pvss_key);
   if (!plain.ok()) return plain.error();
-  return Keystore::deserialize(*plain);
+  auto ks = Keystore::deserialize(*plain);
+  secure_zero(*plain);
+  return ks;
 }
 
 }  // namespace rockfs::core

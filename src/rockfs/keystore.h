@@ -34,6 +34,21 @@ struct Keystore {
   std::int64_t session_key_expiry_us = 0;
   Bytes fssagg_key_a;                             // current A_i
   Bytes fssagg_key_b;                             // current B_i
+  /// Entry index at which (fssagg_key_a, fssagg_key_b) became the chain's
+  /// key stream: 0 for the setup keys, the rotation record's index + 1 after
+  /// a keystore rotation. A resuming signer evolves (count - base) times.
+  std::uint64_t fssagg_base_count = 0;
+
+  Keystore() = default;
+  Keystore(const Keystore&) = default;
+  Keystore& operator=(const Keystore&) = default;
+  Keystore(Keystore&&) = default;
+  Keystore& operator=(Keystore&&) = default;
+  /// Zeroizes the secret fields so a dropped keystore leaves no plaintext
+  /// key material behind (wipe() is also called when rotation supersedes a
+  /// live copy).
+  ~Keystore() { wipe(); }
+  void wipe();
 
   Bytes serialize() const;
   static Result<Keystore> deserialize(BytesView b);
@@ -75,5 +90,29 @@ Result<Keystore> unseal_keystore(const SealedKeystore& sealed,
                                  const std::vector<crypto::Point>& all_holder_pubs,
                                  std::size_t k, crypto::Drbg& drbg,
                                  const std::string& password = {});
+
+/// Output of rotate_keystore: the rotated plaintext keystore, its sealed
+/// form under the fresh deal, and the admin's copy of the new chain keys.
+struct KeystoreRotation {
+  Keystore keystore;
+  SealedKeystore sealed;
+  fssagg::FssAggKeys chain_keys;  // the new segment's initial (A'_1, B'_1)
+};
+
+/// Credential rotation after a compromise (§4.1 response): keeps the user's
+/// identity (PR_U) but installs the replacement cloud tokens, mints a fresh
+/// S_U and fresh FssAgg chain keys whose stream starts at entry index
+/// `fssagg_base_count`, and reseals everything under a FRESH PVSS deal —
+/// proactive share refresh: pvss_share draws a new polynomial, so shares
+/// decrypted from the old deal fail verifyS against the new one and are
+/// useless for reconstruction.
+KeystoreRotation rotate_keystore(const Keystore& current,
+                                 std::vector<cloud::AccessToken> file_tokens,
+                                 std::vector<cloud::AccessToken> log_tokens,
+                                 Bytes fresh_session_key,
+                                 std::int64_t session_key_expiry_us,
+                                 std::uint64_t fssagg_base_count,
+                                 const std::vector<ShareHolder>& holders, std::size_t k,
+                                 crypto::Drbg& drbg, const std::string& password = {});
 
 }  // namespace rockfs::core

@@ -461,13 +461,24 @@ std::unique_ptr<LogService> make_resumed_log_service(
   clock->advance_us(existing.delay);
 
   fssagg::FssAggSigner signer = [&] {
-    if (existing.value.ok() && existing.value->count > 0) {
+    if (existing.value.ok() && existing.value->count > options.key_base_count) {
       fssagg::FssAggKeys current = initial_keys;
-      for (std::uint64_t i = 0; i < existing.value->count; ++i) {
+      // The keys became the stream at entry key_base_count (0 for setup keys,
+      // the rotation index for post-rotation keystores); evolve them to the
+      // stored entry count.
+      for (std::uint64_t i = options.key_base_count; i < existing.value->count; ++i) {
         current.a1 = fssagg::fssagg_evolve_key(current.a1);
         current.b1 = fssagg::fssagg_evolve_key(current.b1);
       }
       return fssagg::FssAggSigner(std::move(current), existing.value->agg_a,
+                                  existing.value->agg_b,
+                                  static_cast<std::size_t>(existing.value->count));
+    }
+    if (existing.value.ok() && existing.value->count == options.key_base_count &&
+        options.key_base_count > 0) {
+      // Rotated keystore resuming exactly at the rotation boundary: keys are
+      // current as-is, only the aggregates are adopted.
+      return fssagg::FssAggSigner(initial_keys, existing.value->agg_a,
                                   existing.value->agg_b,
                                   static_cast<std::size_t>(existing.value->count));
     }

@@ -207,6 +207,11 @@ struct LogServiceOptions {
   bool enable_journal = false;
   /// Crash schedule consulted by append() (nullable).
   sim::CrashSchedulePtr crash;
+  /// Entry index at which the supplied keys became the chain's key stream
+  /// (Keystore::fssagg_base_count). 0 = setup keys; after a keystore
+  /// rotation the fresh keys start mid-chain and the resume evolves only
+  /// (stored count - base) times.
+  std::uint64_t key_base_count = 0;
 };
 
 /// Payload envelope: a one-byte codec tag (0 = raw, 1 = LZ) ahead of the

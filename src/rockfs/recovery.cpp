@@ -153,12 +153,66 @@ Result<LogAudit> RecoveryService::audit_chain(const std::string& chain_user,
     return Error{aggregates.value.error()};
   }
 
+  // Keystore rotations: the chain may span key changes. Each "rotate" record
+  // must be vouched for by a signature-valid, admin-signed manifest AND map
+  // to fresh keys the admin actually stored — anything less fails the audit
+  // fail-closed (an attacker with stolen pre-rotation tokens can append a
+  // fake rotate record but can never produce the admin signature for it).
+  std::vector<fssagg::FssAggRotation> rotations;
+  {
+    auto manifests = read_rotation_manifests(*coordination_, chain_user);
+    clock_->advance_us(manifests.delay);
+    if (!manifests.value.ok()) return Error{manifests.value.error()};
+    const std::vector<ChainRotationKeys>* known = nullptr;
+    if (chain_user == user_id_) {
+      known = &config_.chain_rotations;
+    } else if (const auto it = config_.peer_chain_rotations.find(chain_user);
+               it != config_.peer_chain_rotations.end()) {
+      known = &it->second;
+    }
+    for (std::size_t i = 0; i < audit.records.size(); ++i) {
+      const LogRecord& r = audit.records[i];
+      if (r.op != rotation_record_op()) continue;
+      const RotationManifest* m = nullptr;
+      for (const auto& cand : *manifests.value) {
+        if (cand.rotation_epoch == r.version) {
+          m = &cand;
+          break;
+        }
+      }
+      if (m == nullptr || m->at_seq != r.seq || config_.admin_public_key.empty() ||
+          !verify_rotation_manifest(*m, config_.admin_public_key)) {
+        return Error{ErrorCode::kIntegrity,
+                     "audit: rotate record without a valid admin-signed manifest (" +
+                         chain_user + " seq " + std::to_string(r.seq) + ")"};
+      }
+      const ChainRotationKeys* fresh = nullptr;
+      if (known != nullptr) {
+        for (const auto& k : *known) {
+          if (k.rotation_epoch == m->rotation_epoch && manifest_matches_keys(*m, k.keys)) {
+            fresh = &k;
+            break;
+          }
+        }
+      }
+      if (fresh == nullptr) {
+        return Error{ErrorCode::kIntegrity,
+                     "audit: no stored keys match rotation manifest of " + chain_user +
+                         " (epoch " + std::to_string(m->rotation_epoch) + ")"};
+      }
+      // The rotate record itself is MAC'd under the outgoing stream; the
+      // fresh stream starts at the next chain index (== vector position + 1,
+      // since MAC indices count committed entries, not raw seqs).
+      rotations.push_back({i + 1, fresh->keys});
+    }
+  }
+
   std::vector<fssagg::TaggedEntry> tagged;
   tagged.reserve(audit.records.size());
   for (const auto& r : audit.records) tagged.push_back({r.mac_payload(), r.tag});
   audit.report =
-      fssagg::fssagg_verify(chain_keys, tagged, aggregates.value->agg_a,
-                            aggregates.value->agg_b, aggregates.value->count);
+      fssagg::fssagg_verify_rotated(chain_keys, rotations, tagged, aggregates.value->agg_a,
+                                    aggregates.value->agg_b, aggregates.value->count);
   for (const std::size_t idx : audit.report.corrupt_entries) {
     audit.discarded_seqs.insert(audit.records[idx].seq);
   }
@@ -178,10 +232,11 @@ Result<FileRecovery> RecoveryService::recover_one(const LogAudit& audit,
   const SnapshotBaseline baseline =
       use_snapshots ? load_snapshot(path, delay) : SnapshotBaseline{};
 
-  // Select this file's entries in log order.
+  // Select this file's entries in log order (rotation records live under a
+  // sentinel path and carry no file data; never replay them).
   std::vector<const LogRecord*> entries;
   for (const auto& r : audit.records) {
-    if (r.path == path) entries.push_back(&r);
+    if (r.path == path && r.op != rotation_record_op()) entries.push_back(&r);
   }
   if (entries.empty() && !baseline.found) {
     return Error{ErrorCode::kNotFound, "recovery: no log entries for " + path};
@@ -617,6 +672,7 @@ Result<std::vector<FileRecovery>> RecoveryService::recover_all(
     if (seen.insert(p).second) order.push_back(p);
   }
   for (const auto& r : audit->records) {
+    if (r.path == rotation_record_path()) continue;  // not a file
     if (seen.insert(r.path).second) order.push_back(r.path);
   }
 

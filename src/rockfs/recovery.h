@@ -30,6 +30,7 @@
 #include "depsky/client.h"
 #include "fssagg/fssagg.h"
 #include "rockfs/logservice.h"
+#include "rockfs/revocation.h"
 #include "sim/timed.h"
 
 namespace rockfs::core {
@@ -46,6 +47,17 @@ struct RecoveryConfig {
   /// recover_shared_file audits their chains too and merges all writers'
   /// entries over one file (multi-client sessions).
   std::map<std::string, fssagg::FssAggKeys> peer_chain_keys;
+  /// Public key that signs rotation manifests (revocation.h). Empty means no
+  /// rotations are expected: a rotate record in the chain then fails the
+  /// audit fail-closed rather than being taken on faith.
+  Bytes admin_public_key;
+  /// The admin's durable copies of the fresh chain keys installed by each of
+  /// this user's keystore rotations, epoch order. The audit matches them to
+  /// the published admin-signed manifests by key digest and switches the
+  /// verifier's key stream at each rotate record.
+  std::vector<ChainRotationKeys> chain_rotations;
+  /// Same, for the peer chains of peer_chain_keys.
+  std::map<std::string, std::vector<ChainRotationKeys>> peer_chain_rotations;
 };
 
 /// Outcome of verifying one user's whole log.

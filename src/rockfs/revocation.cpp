@@ -1,0 +1,152 @@
+#include "rockfs/revocation.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace rockfs::core {
+
+namespace {
+constexpr const char* kRevocationTag = "rockrevoke";
+constexpr const char* kRotationTag = "rockrot";
+constexpr const char* kRotationPath = "<rotation>";
+constexpr const char* kRotationOp = "rotate";
+}  // namespace
+
+const char* revocation_tag() { return kRevocationTag; }
+const char* rotation_tag() { return kRotationTag; }
+const char* rotation_record_path() { return kRotationPath; }
+const char* rotation_record_op() { return kRotationOp; }
+
+Bytes RotationManifest::signing_payload() const {
+  Bytes out = to_bytes("rockfs.rotation.v1");
+  append_lp(out, to_bytes(user_id));
+  append_u64(out, rotation_epoch);
+  append_u64(out, at_seq);
+  append_lp(out, key_digest_a);
+  append_lp(out, key_digest_b);
+  return out;
+}
+
+coord::Tuple RotationManifest::to_tuple() const {
+  return {kRotationTag,
+          user_id,
+          std::to_string(rotation_epoch),
+          std::to_string(at_seq),
+          hex_encode(key_digest_a),
+          hex_encode(key_digest_b),
+          hex_encode(signature)};
+}
+
+Result<RotationManifest> RotationManifest::from_tuple(const coord::Tuple& t) {
+  if (t.size() != 7 || t[0] != kRotationTag) {
+    return Error{ErrorCode::kCorrupted, "rotation manifest: malformed tuple"};
+  }
+  RotationManifest m;
+  m.user_id = t[1];
+  try {
+    m.rotation_epoch = std::stoull(t[2]);
+    m.at_seq = std::stoull(t[3]);
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kCorrupted, "rotation manifest: malformed numeric field"};
+  }
+  Bytes ha = hex_decode(t[4]);
+  Bytes hb = hex_decode(t[5]);
+  Bytes sig = hex_decode(t[6]);
+  if (ha.size() != 32 || hb.size() != 32 || sig.empty()) {
+    return Error{ErrorCode::kCorrupted, "rotation manifest: malformed hex field"};
+  }
+  m.key_digest_a = std::move(ha);
+  m.key_digest_b = std::move(hb);
+  m.signature = std::move(sig);
+  return m;
+}
+
+RotationManifest make_rotation_manifest(std::string user_id, std::uint64_t rotation_epoch,
+                                        std::uint64_t at_seq,
+                                        const fssagg::FssAggKeys& fresh_keys,
+                                        const crypto::KeyPair& admin_keys) {
+  RotationManifest m;
+  m.user_id = std::move(user_id);
+  m.rotation_epoch = rotation_epoch;
+  m.at_seq = at_seq;
+  m.key_digest_a = crypto::sha256(fresh_keys.a1);
+  m.key_digest_b = crypto::sha256(fresh_keys.b1);
+  m.signature = crypto::sign(admin_keys, m.signing_payload());
+  return m;
+}
+
+bool verify_rotation_manifest(const RotationManifest& m, BytesView admin_public_key) {
+  return crypto::verify(admin_public_key, m.signing_payload(), m.signature);
+}
+
+bool manifest_matches_keys(const RotationManifest& m, const fssagg::FssAggKeys& keys) {
+  return m.key_digest_a == crypto::sha256(keys.a1) &&
+         m.key_digest_b == crypto::sha256(keys.b1);
+}
+
+sim::Timed<Status> commit_revocation_floor(coord::CoordinationService& coord,
+                                           const std::string& user_id,
+                                           std::uint64_t floor) {
+  sim::SimClock::Micros delay = 0;
+  auto current = read_revocation_floor(coord, user_id);
+  delay += current.delay;
+  if (!current.value.ok()) return {Status{current.value.error()}, delay};
+  if (*current.value >= floor) return {Status::Ok(), delay};  // monotone: no-op
+  auto r = coord.replace(coord::Template::of({kRevocationTag, user_id, "*"}),
+                         {kRevocationTag, user_id, std::to_string(floor)});
+  delay += r.delay;
+  if (!r.value.ok()) return {Status{r.value.error()}, delay};
+  return {Status::Ok(), delay};
+}
+
+sim::Timed<Result<std::uint64_t>> read_revocation_floor(coord::CoordinationService& coord,
+                                                        const std::string& user_id) {
+  auto r = coord.rdp(coord::Template::of({kRevocationTag, user_id, "*"}));
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  if (!r.value->has_value()) return {Result<std::uint64_t>{std::uint64_t{0}}, r.delay};
+  const coord::Tuple& t = **r.value;
+  if (t.size() != 3) {
+    return {Error{ErrorCode::kCorrupted, "revocation floor: malformed tuple"}, r.delay};
+  }
+  try {
+    return {Result<std::uint64_t>{std::stoull(t[2])}, r.delay};
+  } catch (const std::exception&) {
+    return {Error{ErrorCode::kCorrupted, "revocation floor: malformed value"}, r.delay};
+  }
+}
+
+sim::Timed<Result<bool>> publish_rotation_manifest(coord::CoordinationService& coord,
+                                                   const RotationManifest& m) {
+  // CAS keyed on (user, epoch): the insert succeeds only when no manifest
+  // holds this epoch yet, so exactly one of any set of concurrent rotations
+  // wins the epoch and the rest observe false.
+  auto r = coord.cas(coord::Template::of({kRotationTag, m.user_id,
+                                          std::to_string(m.rotation_epoch), "*", "*",
+                                          "*", "*"}),
+                     m.to_tuple());
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {Result<bool>{*r.value}, r.delay};
+}
+
+sim::Timed<Result<std::vector<RotationManifest>>> read_rotation_manifests(
+    coord::CoordinationService& coord, const std::string& user_id) {
+  auto r = coord.rdall(
+      coord::Template::of({kRotationTag, user_id, "*", "*", "*", "*", "*"}));
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  std::vector<RotationManifest> out;
+  out.reserve(r.value->size());
+  for (const auto& t : *r.value) {
+    auto parsed = RotationManifest::from_tuple(t);
+    if (!parsed.ok()) return {Error{parsed.error()}, r.delay};
+    out.push_back(std::move(*parsed));
+  }
+  std::sort(out.begin(), out.end(), [](const RotationManifest& a, const RotationManifest& b) {
+    return a.rotation_epoch < b.rotation_epoch;
+  });
+  return {Result<std::vector<RotationManifest>>{std::move(out)}, r.delay};
+}
+
+}  // namespace rockfs::core

@@ -1,0 +1,107 @@
+// Credential revocation and keystore-rotation metadata (compromise response).
+//
+// Two coordination-service tuple families drive the pipeline:
+//
+//   ("rockrevoke", user, floor)
+//     The user's quorum-stored revocation floor. Any cloud operation that
+//     presents a token whose epoch is below the floor fails kRevoked once
+//     the floor has been pushed to that cloud (cloud/provider.h). The tuple
+//     is the source of truth: a cloud that was in outage during the push is
+//     retried until it enforces the floor too (fail-closed — a stale token
+//     never regains validity).
+//
+//   ("rockrot", user, epoch, at_seq, ha, hb, sig)
+//     One rotation manifest per keystore rotation, admin-signed, published
+//     via CAS so concurrent rotations linearize: exactly one manifest can
+//     win a given rotation epoch. `at_seq` is the chain index of the
+//     rotation's "rotate" log record; ha/hb are SHA-256 digests of the fresh
+//     FssAgg segment keys, binding the manifest to the key stream that MACs
+//     every entry after at_seq. The chain verifier (recovery.h audit)
+//     refuses a rotate record without a matching, signature-valid manifest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "coord/service.h"
+#include "crypto/signature.h"
+#include "fssagg/fssagg.h"
+#include "sim/timed.h"
+
+namespace rockfs::core {
+
+/// Tuple tag of the quorum-stored revocation floor ("rockrevoke").
+const char* revocation_tag();
+/// Tuple tag of rotation manifests ("rockrot").
+const char* rotation_tag();
+/// Sentinel log path of rotation records; never a real file path.
+const char* rotation_record_path();
+/// Log op of rotation records ("rotate").
+const char* rotation_record_op();
+
+/// The public half of one keystore rotation, stored in the coordination
+/// service. The fresh chain keys themselves stay with the admin (and inside
+/// the rotated keystore); the manifest carries only their digests.
+struct RotationManifest {
+  std::string user_id;
+  std::uint64_t rotation_epoch = 0;  // CAS key; linearizes concurrent rotations
+  std::uint64_t at_seq = 0;          // chain index of the "rotate" log record
+  Bytes key_digest_a;                // sha256(A'_1)
+  Bytes key_digest_b;                // sha256(B'_1)
+  Bytes signature;                   // admin Schnorr over signing_payload()
+
+  /// Canonical bytes the admin signs (everything except the signature).
+  Bytes signing_payload() const;
+
+  coord::Tuple to_tuple() const;
+  static Result<RotationManifest> from_tuple(const coord::Tuple& t);
+};
+
+/// Builds and signs a manifest for a rotation that installs `fresh_keys`
+/// starting at chain index at_seq + 1.
+RotationManifest make_rotation_manifest(std::string user_id, std::uint64_t rotation_epoch,
+                                        std::uint64_t at_seq,
+                                        const fssagg::FssAggKeys& fresh_keys,
+                                        const crypto::KeyPair& admin_keys);
+
+/// Checks the admin signature (a forged or tampered manifest fails).
+bool verify_rotation_manifest(const RotationManifest& m, BytesView admin_public_key);
+
+/// Whether `keys` are the keys this manifest commits to (digest match).
+bool manifest_matches_keys(const RotationManifest& m, const fssagg::FssAggKeys& keys);
+
+/// Admin-side record of one rotation: the manifest coordinates plus the
+/// actual fresh keys. The verifier matches these against published manifests
+/// during audit (recovery.h) and switches the key stream at at_seq + 1.
+struct ChainRotationKeys {
+  std::uint64_t rotation_epoch = 0;
+  std::uint64_t at_seq = 0;
+  fssagg::FssAggKeys keys;
+};
+
+// ---- coordination-service operations (return delay, never advance clock) --
+
+/// Raises the user's quorum-stored floor to at least `floor` (monotone:
+/// committing a lower floor than the stored one is a no-op).
+sim::Timed<Status> commit_revocation_floor(coord::CoordinationService& coord,
+                                           const std::string& user_id,
+                                           std::uint64_t floor);
+
+/// The committed floor, 0 when the user was never revoked.
+sim::Timed<Result<std::uint64_t>> read_revocation_floor(coord::CoordinationService& coord,
+                                                        const std::string& user_id);
+
+/// CAS-publishes a manifest for its rotation epoch. Returns true when this
+/// manifest won the epoch, false when a concurrent rotation already holds it
+/// (the loser must re-read and retry at a later epoch).
+sim::Timed<Result<bool>> publish_rotation_manifest(coord::CoordinationService& coord,
+                                                   const RotationManifest& m);
+
+/// Every published manifest for the user, sorted by rotation epoch.
+sim::Timed<Result<std::vector<RotationManifest>>> read_rotation_manifests(
+    coord::CoordinationService& coord, const std::string& user_id);
+
+}  // namespace rockfs::core

@@ -63,4 +63,29 @@ sim::Timed<Result<std::uint64_t>> read_fence_epoch(coord::CoordinationService& c
   return {Result<std::uint64_t>{(*lease.value)->epoch}, lease.delay};
 }
 
+sim::Timed<Result<std::size_t>> evict_holder_leases(coord::CoordinationService& coord,
+                                                    const std::string& holder) {
+  sim::SimClock::Micros delay = 0;
+  auto all = coord.rdall(
+      coord::Template::of({kLeaseTag, "*", holder, "*", "*", "*", "held"}));
+  delay += all.delay;
+  if (!all.value.ok()) return {Error{all.value.error()}, delay};
+
+  std::size_t evicted = 0;
+  for (const auto& t : *all.value) {
+    auto parsed = parse_lease(t);
+    if (!parsed.ok()) continue;  // malformed tuple: nothing to fence against
+    Lease released = *parsed;
+    released.held = false;
+    released.epoch = parsed->epoch + 1;  // fence the holder's in-flight closes
+    auto swap = coord.swap(lease_exact(*parsed), lease_tuple(released));
+    delay += swap.delay;
+    if (!swap.value.ok()) return {Error{swap.value.error()}, delay};
+    // 0 swapped = the lease moved under us (expired takeover or unlock); the
+    // new state already carries a fresher epoch, so skipping is safe.
+    if (*swap.value > 0) ++evicted;
+  }
+  return {Result<std::size_t>{evicted}, delay};
+}
+
 }  // namespace rockfs::scfs

@@ -74,4 +74,14 @@ sim::Timed<Result<std::optional<Lease>>> read_lease(coord::CoordinationService& 
 sim::Timed<Result<std::uint64_t>> read_fence_epoch(coord::CoordinationService& coord,
                                                    const std::string& path);
 
+/// Administrative eviction of every lease `holder` currently holds (the
+/// revocation flow: a compromised user's sessions must lose their locks
+/// before rotation). Each held tuple is atomically swapped to the released
+/// state with a bumped fencing epoch, so the evicted holder's in-flight
+/// closes fence out exactly like a lease-expiry takeover. Returns the number
+/// of leases evicted; a lease that changed concurrently is skipped (its new
+/// holder re-minted the epoch already).
+sim::Timed<Result<std::size_t>> evict_holder_leases(coord::CoordinationService& coord,
+                                                    const std::string& holder);
+
 }  // namespace rockfs::scfs

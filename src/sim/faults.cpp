@@ -83,6 +83,10 @@ const char* crash_point_name(CrashPoint p) {
     case CrashPoint::kAfterLogPayloadPut: return "after_log_payload_put";
     case CrashPoint::kAfterMetaAppend: return "after_meta_append";
     case CrashPoint::kMidRecoverAll: return "mid_recover_all";
+    case CrashPoint::kAfterRevocationFloor: return "after_revocation_floor";
+    case CrashPoint::kMidFloorPropagation: return "mid_floor_propagation";
+    case CrashPoint::kAfterRotationRecord: return "after_rotation_record";
+    case CrashPoint::kAfterKeystoreReseal: return "after_keystore_reseal";
   }
   return "unknown";
 }

@@ -124,8 +124,21 @@ enum class CrashPoint {
   kAfterLogPayloadPut,  // log payload durable; metadata not committed
   kAfterMetaAppend,     // record tuple committed; aggregates still stale
   kMidRecoverAll,       // recover_all(): between two files
+  // Compromise-response pipeline (revocation + keystore rotation). These
+  // model the admin workstation dying mid-response; every step before the
+  // crash is durable (coordination tuples / cloud floors) and the retried
+  // pipeline must converge without double-applying.
+  kAfterRevocationFloor,   // floor quorum-committed; no cloud told yet
+  kMidFloorPropagation,    // some clouds enforce the floor, others do not
+  kAfterRotationRecord,    // rotate record in the chain; keystore still old
+  kAfterKeystoreReseal,    // fresh deal published; session key not re-registered
 };
-inline constexpr std::size_t kCrashPointCount = 6;
+inline constexpr std::size_t kCrashPointCount = 10;
+/// The close / append / recovery prefix of the enum. The generic crash soak
+/// (crash_test, bench_crash_resilience) arms each of these against the
+/// standard close workload; the rotation points only fire inside the
+/// compromise-response pipeline and have their own soak.
+inline constexpr std::size_t kClosePathCrashPointCount = 6;
 
 /// Human-readable name ("after_file_put", ...) for logs and bench output.
 const char* crash_point_name(CrashPoint p);

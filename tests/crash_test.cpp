@@ -170,7 +170,7 @@ TEST_P(CrashSoak, RestartConvergesToNoCrashState) {
 
 INSTANTIATE_TEST_SUITE_P(
     EveryPointEverySeed, CrashSoak,
-    ::testing::Combine(::testing::Range<std::size_t>(0, sim::kCrashPointCount),
+    ::testing::Combine(::testing::Range<std::size_t>(0, sim::kClosePathCrashPointCount),
                        ::testing::Values(2024u, 7u, 99u)),
     [](const ::testing::TestParamInfo<CrashSoak::ParamType>& info) {
       return std::string(sim::crash_point_name(
