@@ -1,0 +1,306 @@
+// Real execution for the simulated stack: a fixed thread pool with
+// submit()/Future, cooperative cancellation, and first-(n-f) quorum joins.
+//
+// The DepSky hot path fans per-cloud operations out on an Executor. Two join
+// disciplines exist (JoinMode):
+//
+//   kBarrier     — every launched branch completes before the join returns;
+//                  operation *completion time* is then composed from the
+//                  branches' virtual delays (sim/timed.h quorum_delay), so a
+//                  seeded run is byte-identical whether the branches executed
+//                  sequentially or on N threads. This is the deterministic
+//                  mode every test oracle relies on.
+//   kFirstQuorum — the join freezes its included set at the quorum-th
+//                  wall-clock success and cancels the stragglers (their
+//                  emulated I/O sleeps are interrupted; the residual compute
+//                  drains in the background before the join returns, so no
+//                  caller memory can dangle). Wall-clock optimal; used by the
+//                  latency-emulating benches, never by the determinism suite.
+//
+// A straggler that "lands" after the freeze keeps its result out of the
+// included set — callers must account (metrics, acks) only over included
+// branches, which is what makes late acks unable to double-count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rockfs::common {
+
+/// How a fan-out completes (see file header).
+enum class JoinMode { kBarrier, kFirstQuorum };
+
+/// Shared cooperative-cancellation flag. Copies refer to the same state.
+/// cancel() wakes every sleep_for() immediately.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  void cancel() const {
+    {
+      std::lock_guard<std::mutex> lk(state_->mu);
+      state_->cancelled = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->cancelled;
+  }
+
+  /// Sleeps up to `d` of wall time; returns false when woken by cancel()
+  /// (or already cancelled), true when the full duration elapsed.
+  bool sleep_for(std::chrono::microseconds d) const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    return !state_->cv.wait_for(lk, d, [this] { return state_->cancelled; });
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool cancelled = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Minimal single-producer future: the value set once by the task, read by
+/// the submitter. get() blocks and rethrows a task exception.
+template <typename T>
+class Future {
+ public:
+  Future() : s_(std::make_shared<Shared>()) {}
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lk(s_->mu);
+    return s_->ready;
+  }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lk(s_->mu);
+    s_->cv.wait(lk, [this] { return s_->ready; });
+  }
+
+  /// Blocks until the task finished; rethrows its exception if it threw.
+  T get() const {
+    std::unique_lock<std::mutex> lk(s_->mu);
+    s_->cv.wait(lk, [this] { return s_->ready; });
+    if (s_->error) std::rethrow_exception(s_->error);
+    return *s_->value;
+  }
+
+  void set_value(T v) const {
+    {
+      std::lock_guard<std::mutex> lk(s_->mu);
+      s_->value.emplace(std::move(v));
+      s_->ready = true;
+    }
+    s_->cv.notify_all();
+  }
+
+  void set_exception(std::exception_ptr e) const {
+    {
+      std::lock_guard<std::mutex> lk(s_->mu);
+      s_->error = e;
+      s_->ready = true;
+    }
+    s_->cv.notify_all();
+  }
+
+ private:
+  struct Shared {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+    std::exception_ptr error;
+    bool ready = false;
+  };
+  std::shared_ptr<Shared> s_;
+};
+
+/// Where fan-out branches run. concurrency() == 1 means branches execute in
+/// the caller's thread, in launch order — the sequential baseline.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Schedules `fn`. Implementations never throw out of the worker; `fn`
+  /// must not either (submit() wraps exceptions into the Future).
+  virtual void execute(std::function<void()> fn) = 0;
+  virtual std::size_t concurrency() const noexcept = 0;
+
+  /// Schedules `fn` and returns a Future for its result (exceptions travel
+  /// through Future::get).
+  template <typename F, typename R = std::invoke_result_t<F>>
+  Future<R> submit(F&& fn) {
+    Future<R> fut;
+    execute([fut, f = std::forward<F>(fn)]() mutable {
+      try {
+        fut.set_value(f());
+      } catch (...) {
+        fut.set_exception(std::current_exception());
+      }
+    });
+    return fut;
+  }
+};
+
+/// Runs everything inline in the calling thread (the deterministic serial
+/// baseline every pooled path degrades to).
+class InlineExecutor final : public Executor {
+ public:
+  void execute(std::function<void()> fn) override { fn(); }
+  std::size_t concurrency() const noexcept override { return 1; }
+};
+
+/// Fixed pool of worker threads over an unbounded FIFO queue. The destructor
+/// drains every queued task before joining, so submitted work never vanishes.
+class ThreadPool final : public Executor {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void execute(std::function<void()> fn) override;
+  std::size_t concurrency() const noexcept override { return workers_.size(); }
+  /// Tasks executed so far (tests / introspection).
+  std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..count-1) to completion, on the pool when one is given (barrier
+/// semantics; the first exception is rethrown after all branches finish) or
+/// inline otherwise. Branch results must be written to disjoint slots.
+void parallel_for_index(Executor* exec, std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Join for `n` homogeneous branches with an optional first-quorum freeze.
+///
+/// With quorum_goal == 0 (barrier): every branch is included; wait() returns
+/// once all have completed. With quorum_goal > 0: the included set freezes
+/// the instant the goal-th successful branch lands; the shared CancelToken
+/// fires so stragglers abandon their emulated waits, and wait() still drains
+/// them (bounded by their residual compute) before returning — results that
+/// land after the freeze are recorded but excluded. If the goal turns out to
+/// be unreachable the freeze never happens and every branch is included,
+/// degrading to barrier semantics (the caller sees the failure in its own
+/// quorum arithmetic).
+template <typename T>
+class QuorumJoin {
+ public:
+  using Task = std::function<T(const CancelToken&)>;
+  using SuccessPredicate = std::function<bool(const T&)>;
+
+  explicit QuorumJoin(std::size_t n, std::size_t quorum_goal = 0)
+      : state_(std::make_shared<State>()) {
+    state_->results.resize(n);
+    state_->errors.resize(n);
+    state_->included.assign(n, false);
+    state_->quorum_goal = quorum_goal;
+  }
+
+  const CancelToken& token() const { return state_->cancel; }
+
+  void launch(Executor& exec, std::size_t index, Task task, SuccessPredicate is_success) {
+    auto state = state_;
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      ++state->launched;
+    }
+    exec.execute([state, index, task = std::move(task), ok = std::move(is_success)] {
+      std::optional<T> value;
+      std::exception_ptr error;
+      try {
+        value.emplace(task(state->cancel));
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const bool success = value.has_value() && (!ok || ok(*value));
+      bool frozen_now = false;
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->results[index] = std::move(value);
+        state->errors[index] = error;
+        if (!state->frozen) {
+          state->included[index] = true;
+          if (success) ++state->included_successes;
+          if (state->quorum_goal > 0 &&
+              state->included_successes >= state->quorum_goal) {
+            state->frozen = true;
+          }
+        }
+        ++state->completed;
+        frozen_now = state->frozen;  // snapshot under the lock (TSan-clean)
+      }
+      if (frozen_now) state->cancel.cancel();  // idempotent re-cancel is fine
+      state->cv.notify_all();
+    });
+  }
+
+  struct Snapshot {
+    std::vector<std::optional<T>> results;     // every completed branch
+    std::vector<std::exception_ptr> errors;    // per-branch task exception
+    std::vector<bool> included;                // in the frozen quorum set
+    std::size_t included_successes = 0;
+    bool frozen = false;                       // the quorum goal was reached
+  };
+
+  /// Blocks until every launched branch completed (stragglers drain fast:
+  /// a freeze cancels their token), then snapshots the frozen state.
+  Snapshot wait() {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [this] { return state_->completed == state_->launched; });
+    Snapshot snap;
+    snap.results = std::move(state_->results);
+    snap.errors = state_->errors;
+    snap.included = state_->included;
+    snap.included_successes = state_->included_successes;
+    snap.frozen = state_->frozen;
+    state_->results.clear();
+    return snap;
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::optional<T>> results;
+    std::vector<std::exception_ptr> errors;
+    std::vector<bool> included;
+    std::size_t launched = 0;
+    std::size_t completed = 0;
+    std::size_t included_successes = 0;
+    std::size_t quorum_goal = 0;
+    bool frozen = false;
+    CancelToken cancel;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rockfs::common

@@ -1,6 +1,7 @@
 #include "depsky/client.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +14,43 @@
 namespace rockfs::depsky {
 
 namespace {
+
+// Runs body(j, cancel) for j in [0, count) — inline when `exec` is null or
+// serial, else on the pool — and returns the QuorumJoin snapshot. The same
+// join/trace machinery executes either way: per-branch spans land in
+// TaskTrace buffers spliced back in branch-index order after the join, so a
+// seeded run's trace dump is byte-identical at any thread count. `goal` only
+// arms the first-quorum freeze in kFirstQuorum mode; kBarrier includes every
+// branch.
+template <typename T, typename Body, typename Ok>
+typename common::QuorumJoin<T>::Snapshot fan_out(common::Executor* exec,
+                                                 common::JoinMode mode,
+                                                 std::size_t count, std::size_t goal,
+                                                 Body&& body, Ok&& ok) {
+  std::vector<obs::TaskTrace> traces;
+  traces.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) traces.push_back(obs::tracer().make_task());
+  common::InlineExecutor inline_exec;
+  common::Executor& where =
+      (exec != nullptr && exec->concurrency() > 1) ? *exec : inline_exec;
+  const std::size_t armed_goal = mode == common::JoinMode::kFirstQuorum ? goal : 0;
+  common::QuorumJoin<T> join(count, armed_goal);
+  for (std::size_t j = 0; j < count; ++j) {
+    join.launch(
+        where, j,
+        [j, &body, &traces](const common::CancelToken& cancel) {
+          obs::TaskBinding bind(&traces[j]);
+          return body(j, cancel);
+        },
+        ok);
+  }
+  auto snap = join.wait();
+  obs::tracer().splice(traces);
+  for (const std::exception_ptr& err : snap.errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return snap;
+}
 
 // Per-cloud share blob for protocol CA: erasure shard + Shamir key share.
 Bytes encode_ca_blob(BytesView shard, const secretshare::ShamirShare& key_share) {
@@ -56,7 +94,8 @@ DepSkyClient::DepSkyClient(DepSkyConfig config, BytesView drbg_seed)
   }
   health_.reserve(config_.clouds.size());
   for (const auto& cloud : config_.clouds) {
-    health_.emplace_back(cloud->clock(), config_.health, cloud->name());
+    health_.push_back(
+        std::make_unique<HealthTracker>(cloud->clock(), config_.health, cloud->name()));
   }
   auto& reg = obs::metrics();
   obs_.attempts = &reg.counter("depsky.attempts");
@@ -80,7 +119,7 @@ std::vector<std::size_t> DepSkyClient::contact_set() {
   std::vector<std::size_t> allowed;
   std::vector<std::size_t> open;
   for (std::size_t i = 0; i < n(); ++i) {
-    if (health_[i].allow_request()) {
+    if (health_[i]->allow_request()) {
       allowed.push_back(i);
     } else {
       open.push_back(i);
@@ -90,12 +129,17 @@ std::vector<std::size_t> DepSkyClient::contact_set() {
   // an (n-f) quorum unreachable, conscript them as forced probes so the
   // breaker can never cause a failure that would not otherwise happen.
   const std::size_t quorum = n() - f();
+  std::size_t probes = 0;
   for (std::size_t j = 0; allowed.size() < quorum && j < open.size(); ++j) {
     allowed.push_back(open[j]);
-    ++stats_.forced_probes;
+    ++probes;
     obs_.forced_probes->add();
   }
-  stats_.breaker_skips += n() - allowed.size();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.forced_probes += probes;
+    stats_.breaker_skips += n() - allowed.size();
+  }
   obs_.breaker_skips->add(n() - allowed.size());
   std::sort(allowed.begin(), allowed.end());
   return allowed;
@@ -103,32 +147,36 @@ std::vector<std::size_t> DepSkyClient::contact_set() {
 
 void DepSkyClient::record_outcome(std::size_t cloud, const RetryOutcome& outcome,
                                   ErrorCode final) {
-  stats_.attempts += static_cast<std::uint64_t>(outcome.attempts);
-  stats_.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.attempts += static_cast<std::uint64_t>(outcome.attempts);
+    stats_.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+    if (outcome.deadline_exhausted) ++stats_.deadline_hits;
+  }
   obs_.attempts->add(static_cast<std::uint64_t>(outcome.attempts));
   obs_.retries->add(static_cast<std::uint64_t>(outcome.attempts - 1));
-  if (outcome.deadline_exhausted) {
-    ++stats_.deadline_hits;
-    obs_.deadline_hits->add();
-  }
+  if (outcome.deadline_exhausted) obs_.deadline_hits->add();
   // Only transport-class failures count against the breaker: kNotFound,
   // kPermissionDenied etc. mean the cloud answered and is healthy.
   if (final == ErrorCode::kUnavailable || final == ErrorCode::kTimeout) {
-    health_[cloud].record_failure();
+    health_[cloud]->record_failure();
   } else {
-    health_[cloud].record_success();
+    health_[cloud]->record_success();
   }
 }
 
 sim::Timed<Result<Bytes>> DepSkyClient::guarded_get(std::size_t i,
                                                     const cloud::AccessToken& token,
-                                                    const std::string& key) {
+                                                    const std::string& key,
+                                                    std::uint64_t backoff_seed,
+                                                    const common::CancelToken& cancel) {
   obs::Span span = obs::tracer().span("depsky.get");
   span.set_label(config_.clouds[i]->name());
   RetryOutcome outcome;
   auto timed = retry_timed(
-      config_.retry, backoff_rng_.next_u64(),
+      config_.retry, backoff_seed,
       [&] { return config_.clouds[i]->get(token, key); }, &outcome);
+  if (config_.emulate_latency) config_.emulate_latency(timed.delay, cancel);
   record_outcome(i, outcome, timed.value.code());
   span.set_duration(static_cast<std::uint64_t>(timed.delay));
   // Provider attempts are this span's serial children; only the retry
@@ -140,13 +188,16 @@ sim::Timed<Result<Bytes>> DepSkyClient::guarded_get(std::size_t i,
 }
 
 sim::Timed<Status> DepSkyClient::guarded_put(std::size_t i, const cloud::AccessToken& token,
-                                             const std::string& key, BytesView data) {
+                                             const std::string& key, BytesView data,
+                                             std::uint64_t backoff_seed,
+                                             const common::CancelToken& cancel) {
   obs::Span span = obs::tracer().span("depsky.put");
   span.set_label(config_.clouds[i]->name());
   RetryOutcome outcome;
   auto timed = retry_timed(
-      config_.retry, backoff_rng_.next_u64(),
+      config_.retry, backoff_seed,
       [&] { return config_.clouds[i]->put(token, key, data); }, &outcome);
+  if (config_.emulate_latency) config_.emulate_latency(timed.delay, cancel);
   record_outcome(i, outcome, timed.value.code());
   span.set_duration(static_cast<std::uint64_t>(timed.delay));
   span.charge_child(static_cast<std::uint64_t>(timed.delay - outcome.backoff_us));
@@ -180,19 +231,43 @@ DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
     }
   };
 
+  const std::size_t quorum = n() - f();
   const auto contacted = contact_set();
-  for (const std::size_t i : contacted) {
-    push(i, guarded_put(i, tokens[i], keys[i], blobs[i]));
+  // Jitter seeds pre-drawn in contact order: the stream consumed is the same
+  // whether the branches then run inline or on N pool threads.
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(contacted.size());
+  for (std::size_t j = 0; j < contacted.size(); ++j) {
+    seeds.push_back(backoff_rng_.next_u64());
+  }
+  auto round = fan_out<sim::Timed<Status>>(
+      config_.executor.get(), config_.join_mode, contacted.size(), quorum,
+      [&](std::size_t j, const common::CancelToken& cancel) {
+        const std::size_t i = contacted[j];
+        return guarded_put(i, tokens[i], keys[i], blobs[i], seeds[j], cancel);
+      },
+      [](const sim::Timed<Status>& put) { return put.value.ok(); });
+  // Ingest in ascending contact order, counting only included branches — a
+  // straggler landing after a first-quorum freeze contributes neither acks
+  // nor put.data.{bytes,acks} (the double-count property test's invariant).
+  for (std::size_t j = 0; j < contacted.size(); ++j) {
+    if (!round.included[j] || !round.results[j].has_value()) continue;
+    push(contacted[j], std::move(*round.results[j]));
   }
   // Degraded fallback round over breaker-skipped clouds if the quorum is
   // still short (their completion times start after round one resolves).
-  if (result.acks < n() - f() && contacted.size() < n()) {
+  if (result.acks < quorum && contacted.size() < n()) {
     const auto round1 = sim::parallel_delay(delays);
+    const common::CancelToken no_cancel;
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
-      auto put = guarded_put(i, tokens[i], keys[i], blobs[i]);
+      auto put = guarded_put(i, tokens[i], keys[i], blobs[i],
+                             backoff_rng_.next_u64(), no_cancel);
       put.delay += round1;
-      ++stats_.forced_probes;
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.forced_probes;
+      }
       obs_.forced_probes->add();
       push(i, std::move(put));
     }
@@ -226,44 +301,78 @@ std::string DepSkyClient::share_key(const std::string& unit, std::uint64_t versi
 DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
     const std::vector<cloud::AccessToken>& tokens, const std::string& unit) {
   // Query every contactable cloud in parallel; a quorum of n-f responses
-  // (found or definitive not-found) settles the answer.
+  // (found or definitive not-found) settles the answer. Deserialization and
+  // signature verification run inside each branch (so ECDSA verifies
+  // overlap on the pool); the highest-version selection happens post-join
+  // in ascending cloud order so it is schedule-independent.
   obs::Span group = obs::tracer().span("depsky.meta_fetch", {.fanout = true});
+  struct MetaProbe {
+    sim::SimClock::Micros delay = 0;
+    bool responded = false;  // found or definitive not-found
+    std::optional<UnitMetadata> meta;
+  };
   std::vector<sim::SimClock::Micros> delays;
   UnitMetadata best;
   bool found = false;
   std::size_t responses = 0;
-  const auto ingest = [&](sim::Timed<Result<Bytes>>&& got) {
-    delays.push_back(got.delay);
+  const auto ingest = [&](MetaProbe&& probe) {
+    delays.push_back(probe.delay);
+    if (probe.responded) ++responses;
+    if (probe.meta && (!found || probe.meta->version > best.version)) {
+      best = std::move(*probe.meta);
+      found = true;
+    }
+  };
+  const auto probe_cloud = [&](std::size_t i, std::uint64_t seed,
+                               const common::CancelToken& cancel) {
+    MetaProbe probe;
+    auto got = guarded_get(i, tokens[i], metadata_key(unit), seed, cancel);
+    probe.delay = got.delay;
     if (got.value.ok()) {
-      ++responses;
+      probe.responded = true;
       auto meta = UnitMetadata::deserialize(*got.value);
       if (meta.ok() && meta->unit == unit && trusted(*meta) &&
           meta->share_digests.size() == n()) {
-        if (!found || meta->version > best.version) {
-          best = std::move(*meta);
-          found = true;
-        }
+        probe.meta = std::move(*meta);
       }
     } else if (got.value.code() == ErrorCode::kNotFound) {
-      ++responses;
+      probe.responded = true;
     }
+    return probe;
   };
 
+  const std::size_t quorum = n() - f();
   const auto contacted = contact_set();
-  for (const std::size_t i : contacted) {
-    ingest(guarded_get(i, tokens[i], metadata_key(unit)));
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(contacted.size());
+  for (std::size_t j = 0; j < contacted.size(); ++j) {
+    seeds.push_back(backoff_rng_.next_u64());
+  }
+  auto round = fan_out<MetaProbe>(
+      config_.executor.get(), config_.join_mode, contacted.size(), quorum,
+      [&](std::size_t j, const common::CancelToken& cancel) {
+        return probe_cloud(contacted[j], seeds[j], cancel);
+      },
+      [](const MetaProbe& probe) { return probe.responded; });
+  for (std::size_t j = 0; j < contacted.size(); ++j) {
+    if (!round.included[j] || !round.results[j].has_value()) continue;
+    ingest(std::move(*round.results[j]));
   }
   // Degraded fallback: if the first round missed the quorum and the breaker
   // held clouds back, try those too (sequenced after round one completes).
-  if (responses < n() - f() && contacted.size() < n()) {
+  if (responses < quorum && contacted.size() < n()) {
     const auto round1 = sim::parallel_delay(delays);
+    const common::CancelToken no_cancel;
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
-      auto got = guarded_get(i, tokens[i], metadata_key(unit));
-      got.delay += round1;
-      ++stats_.forced_probes;
+      auto probe = probe_cloud(i, backoff_rng_.next_u64(), no_cancel);
+      probe.delay += round1;
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.forced_probes;
+      }
       obs_.forced_probes->add();
-      ingest(std::move(got));
+      ingest(std::move(probe));
     }
   }
 
@@ -317,7 +426,11 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   }
   const std::uint64_t version = old_version + 1;
 
-  // Phase 2: build the per-cloud blobs.
+  // Phase 2: build the per-cloud blobs. The erasure rows and the per-share
+  // blob assembly run per-share on the executor (disjoint output slots, so
+  // the bytes are identical to the sequential path); the AES stream and the
+  // Shamir split stay on the coordinator because they consume drbg_.
+  common::Executor* exec = config_.executor.get();
   std::vector<Bytes> blobs(n());
   if (config_.protocol == Protocol::kA) {
     for (auto& b : blobs) b.assign(data.begin(), data.end());
@@ -328,14 +441,15 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
     // Prepend the IV to the ciphertext so readers can decrypt.
     Bytes sealed = concat({iv, ciphertext});
     const erasure::ReedSolomon rs(k(), n());
-    const auto shards = rs.encode(sealed);
+    const auto shards = rs.encode(sealed, exec);
     const auto key_shares = secretshare::shamir_share(key, k(), n(), drbg_);
-    for (std::size_t i = 0; i < n(); ++i) {
+    common::parallel_for_index(exec, n(), [&](std::size_t i) {
       blobs[i] = encode_ca_blob(shards[i].data, key_shares[i]);
-    }
+    });
   }
 
-  // Phase 3: metadata.
+  // Phase 3: metadata (per-share digests computed concurrently, slot-per-
+  // index, so the metadata bytes are schedule-independent).
   UnitMetadata meta;
   meta.unit = unit;
   meta.version = version;
@@ -343,7 +457,9 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   meta.data_size = config_.protocol == Protocol::kA
                        ? data.size()
                        : data.size() + crypto::Aes256::kBlockSize;  // + IV
-  for (const Bytes& b : blobs) meta.share_digests.push_back(crypto::sha256(b));
+  meta.share_digests.resize(n());
+  common::parallel_for_index(
+      exec, n(), [&](std::size_t i) { meta.share_digests[i] = crypto::sha256(blobs[i]); });
   meta.sign(config_.writer);
   const Bytes meta_bytes = meta.serialize();
 
@@ -432,38 +548,72 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
   const UnitMetadata& meta = *head.metadata;
 
   // Fetch shares in parallel from healthy clouds (per-cloud retry), keep
-  // digest-valid ones.
+  // digest-valid ones. The SHA-256 digest check runs inside each branch so
+  // the hashing overlaps on the pool; ingestion stays in ascending cloud
+  // order post-join.
   struct ValidShare {
     std::size_t cloud;
     Bytes blob;
     sim::SimClock::Micros delay;
   };
+  struct ShareProbe {
+    sim::SimClock::Micros delay = 0;
+    bool valid = false;
+    Bytes blob;
+  };
   const std::size_t needed = config_.protocol == Protocol::kA ? 1 : k();
   obs::Span group = obs::tracer().span("depsky.share_fetch", {.fanout = true});
   std::vector<ValidShare> valid;
   std::vector<sim::SimClock::Micros> all_delays;
-  const auto fetch_share = [&](std::size_t i, sim::SimClock::Micros offset) {
+  const auto probe_share = [&](std::size_t i, std::uint64_t seed,
+                               const common::CancelToken& cancel) {
     const std::string key = share_key(unit, meta.version, i);
     auto got = cold ? config_.clouds[i]->restore_from_cold(tokens[i], key)
-                    : guarded_get(i, tokens[i], key);
-    got.delay += offset;
-    all_delays.push_back(got.delay);
-    if (!got.value.ok()) return;
-    if (!ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) return;
-    valid.push_back({i, std::move(*got.value), got.delay});
+                    : guarded_get(i, tokens[i], key, seed, cancel);
+    ShareProbe probe;
+    probe.delay = got.delay;
+    if (got.value.ok() && ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) {
+      probe.valid = true;
+      probe.blob = std::move(*got.value);
+    }
+    return probe;
+  };
+  const auto ingest = [&](std::size_t i, ShareProbe&& probe) {
+    all_delays.push_back(probe.delay);
+    if (probe.valid) valid.push_back({i, std::move(probe.blob), probe.delay});
   };
 
   const auto contacted = contact_set();
-  for (const std::size_t i : contacted) fetch_share(i, 0);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(contacted.size());
+  for (std::size_t j = 0; j < contacted.size(); ++j) {
+    seeds.push_back(backoff_rng_.next_u64());
+  }
+  auto round = fan_out<ShareProbe>(
+      config_.executor.get(), config_.join_mode, contacted.size(), needed,
+      [&](std::size_t j, const common::CancelToken& cancel) {
+        return probe_share(contacted[j], seeds[j], cancel);
+      },
+      [](const ShareProbe& probe) { return probe.valid; });
+  for (std::size_t j = 0; j < contacted.size(); ++j) {
+    if (!round.included[j] || !round.results[j].has_value()) continue;
+    ingest(contacted[j], std::move(*round.results[j]));
+  }
   // Degraded fallback: conscript breaker-skipped clouds if the healthy set
   // could not produce the `needed` valid shares.
   if (valid.size() < needed && contacted.size() < n()) {
     const auto round1 = sim::parallel_delay(all_delays);
+    const common::CancelToken no_cancel;
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
-      ++stats_.forced_probes;
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.forced_probes;
+      }
       obs_.forced_probes->add();
-      fetch_share(i, round1);
+      auto probe = probe_share(i, backoff_rng_.next_u64(), no_cancel);
+      probe.delay += round1;
+      ingest(i, std::move(probe));
     }
   }
   if (valid.size() < needed) {

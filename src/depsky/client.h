@@ -14,11 +14,14 @@
 // never advance the clock themselves.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cloud/provider.h"
+#include "common/executor.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "crypto/drbg.h"
@@ -43,6 +46,21 @@ struct DepSkyConfig {
   RetryPolicy retry;
   /// Per-cloud circuit-breaker thresholds (health.h).
   HealthOptions health;
+  /// Fan-out branches (per-cloud gets/puts, share encode, digesting) run
+  /// here; null means inline on the caller's thread. The same quorum-join
+  /// code path executes either way, so seeded runs produce byte-identical
+  /// metadata, digests and trace dumps at any thread count.
+  std::shared_ptr<common::Executor> executor;
+  /// kBarrier (default): joins wait for every branch and compose completion
+  /// from virtual delays — the deterministic mode. kFirstQuorum: the join
+  /// freezes at the (n-f)-th wall-clock success and cancels stragglers —
+  /// wall-clock optimal, used by latency-emulating benches only.
+  common::JoinMode join_mode = common::JoinMode::kBarrier;
+  /// Optional wall-clock emulation: invoked inside each per-cloud branch
+  /// with the branch's virtual delay, typically sleeping a scaled-down real
+  /// amount. Must honor the cancel token (return early once cancelled) so
+  /// kFirstQuorum joins can interrupt stragglers.
+  std::function<void(sim::SimClock::Micros, const common::CancelToken&)> emulate_latency;
 };
 
 class DepSkyClient {
@@ -123,8 +141,8 @@ class DepSkyClient {
 
   /// Circuit breaker guarding cloud i (open clouds are skipped when a
   /// quorum is reachable without them; see health.h).
-  HealthTracker& cloud_health(std::size_t i) { return health_.at(i); }
-  const HealthTracker& cloud_health(std::size_t i) const { return health_.at(i); }
+  HealthTracker& cloud_health(std::size_t i) { return *health_.at(i); }
+  const HealthTracker& cloud_health(std::size_t i) const { return *health_.at(i); }
 
   struct ResilienceStats {
     std::uint64_t attempts = 0;        // per-cloud requests actually issued
@@ -133,7 +151,11 @@ class DepSkyClient {
     std::uint64_t forced_probes = 0;   // open clouds conscripted for quorum
     std::uint64_t deadline_hits = 0;   // retry loops stopped by the deadline
   };
-  const ResilienceStats& resilience_stats() const noexcept { return stats_; }
+  /// Snapshot (fan-out branches mutate the stats concurrently).
+  ResilienceStats resilience_stats() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+  }
 
   /// Size of the per-cloud blob a write of `data_size` bytes stores at each
   /// cloud: the payload itself (protocol A) or erasure shard + key share
@@ -167,11 +189,18 @@ class DepSkyClient {
   std::vector<std::size_t> contact_set();
 
   /// get/put against cloud i with per-cloud retry; records the outcome in
-  /// the cloud's circuit breaker and the resilience stats.
+  /// the cloud's circuit breaker and the resilience stats. Thread-safe (fan
+  /// out branches call these concurrently for distinct clouds). The backoff
+  /// jitter seed is pre-drawn by the coordinator in contact order so the
+  /// stream is identical at any thread count; `cancel` interrupts the
+  /// optional wall-clock latency emulation.
   sim::Timed<Result<Bytes>> guarded_get(std::size_t i, const cloud::AccessToken& token,
-                                        const std::string& key);
+                                        const std::string& key, std::uint64_t backoff_seed,
+                                        const common::CancelToken& cancel);
   sim::Timed<Status> guarded_put(std::size_t i, const cloud::AccessToken& token,
-                                 const std::string& key, BytesView data);
+                                 const std::string& key, BytesView data,
+                                 std::uint64_t backoff_seed,
+                                 const common::CancelToken& cancel);
 
   /// One write quorum phase: puts keys[i]/blobs[i] at every contactable
   /// cloud, falling back to skipped clouds if the first round misses the
@@ -202,8 +231,11 @@ class DepSkyClient {
 
   DepSkyConfig config_;
   crypto::Drbg drbg_;
-  std::vector<HealthTracker> health_;  // one breaker per cloud
+  // unique_ptr: HealthTracker owns a mutex and cannot live in a resizable
+  // vector by value.
+  std::vector<std::unique_ptr<HealthTracker>> health_;  // one breaker per cloud
   Rng backoff_rng_;                    // jitter stream for retry backoff
+  mutable std::mutex stats_mu_;        // guards stats_ (branches update it)
   ResilienceStats stats_;
   ObsHandles obs_;
 };

@@ -16,7 +16,7 @@ HealthTracker::HealthTracker(sim::SimClockPtr clock, HealthOptions options,
   }
 }
 
-HealthTracker::State HealthTracker::state() const {
+HealthTracker::State HealthTracker::effective_state_locked() const {
   if (state_ == State::kOpen &&
       clock_->now_us() >= opened_at_us_ + options_.open_cooldown_us) {
     return State::kHalfOpen;
@@ -24,8 +24,14 @@ HealthTracker::State HealthTracker::state() const {
   return state_;
 }
 
+HealthTracker::State HealthTracker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return effective_state_locked();
+}
+
 void HealthTracker::record_success() {
-  switch (state()) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (effective_state_locked()) {
     case State::kClosed:
       consecutive_failures_ = 0;
       break;
@@ -41,7 +47,8 @@ void HealthTracker::record_success() {
 }
 
 void HealthTracker::record_failure() {
-  switch (state()) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (effective_state_locked()) {
     case State::kClosed:
       if (++consecutive_failures_ >= options_.failure_threshold) {
         state_ = State::kOpen;

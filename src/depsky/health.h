@@ -14,9 +14,15 @@
 // breaker can never make an operation fail that would otherwise succeed.
 // Successful forced probes count like half-open probes, so a recovered
 // cloud heals the breaker even while it is nominally open.
+// Thread-safe: fan-out branches running on a pool record outcomes for
+// different clouds concurrently, and the coordinator may consult any
+// breaker's state while they do. All transitions happen under an internal
+// mutex; the hot read-side accessors are atomics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "obs/metrics.h"
@@ -48,18 +54,26 @@ class HealthTracker {
   void record_success();
   void record_failure();
 
-  int consecutive_failures() const noexcept { return consecutive_failures_; }
+  int consecutive_failures() const noexcept {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
   /// Number of times the breaker tripped closed -> open (re-opens included).
-  std::uint64_t times_opened() const noexcept { return times_opened_; }
+  std::uint64_t times_opened() const noexcept {
+    return times_opened_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// state() with mu_ already held (record_* call it mid-transition).
+  State effective_state_locked() const;
+
+  mutable std::mutex mu_;
   sim::SimClockPtr clock_;
   HealthOptions options_;
   State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
+  std::atomic<int> consecutive_failures_{0};
   int probe_successes_ = 0;
   sim::SimClock::Micros opened_at_us_ = 0;
-  std::uint64_t times_opened_ = 0;
+  std::atomic<std::uint64_t> times_opened_{0};
   obs::Counter* opened_counter_ = nullptr;  // cached registry handle
 };
 

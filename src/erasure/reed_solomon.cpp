@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/executor.h"
+
 namespace rockfs::erasure {
 
 namespace {
@@ -52,6 +54,31 @@ std::vector<Shard> ReedSolomon::encode(BytesView data) const {
       shards[out_row].data[pos] = acc;
     }
   }
+  return shards;
+}
+
+std::vector<Shard> ReedSolomon::encode(BytesView data, common::Executor* exec) const {
+  if (exec == nullptr || exec->concurrency() <= 1) return encode(data);
+  const std::size_t stride = std::max<std::size_t>(shard_size(data.size()), 1);
+  std::vector<Shard> shards(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    shards[i].index = i;
+    shards[i].data.assign(stride, 0);
+  }
+  // Row-major split: each branch owns one output shard, so the writes are
+  // disjoint and the arithmetic per byte matches the sequential overload.
+  common::parallel_for_index(exec, n_, [&](std::size_t out_row) {
+    Bytes& out = shards[out_row].data;
+    for (std::size_t pos = 0; pos < stride; ++pos) {
+      std::uint8_t acc = 0;
+      for (std::size_t c = 0; c < k_; ++c) {
+        const std::size_t idx = c * stride + pos;
+        const Byte b = idx < data.size() ? data[idx] : 0;
+        acc ^= gf::mul(coding_.at(out_row, c), b);
+      }
+      out[pos] = acc;
+    }
+  });
   return shards;
 }
 

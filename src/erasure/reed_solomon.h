@@ -11,6 +11,10 @@
 #include "common/result.h"
 #include "gf/gf256.h"
 
+namespace rockfs::common {
+class Executor;
+}
+
 namespace rockfs::erasure {
 
 /// One coded shard: the shard index identifies its row of the coding matrix.
@@ -32,6 +36,11 @@ class ReedSolomon {
 
   /// Encodes into n shards (the first k are the systematic data shards).
   std::vector<Shard> encode(BytesView data) const;
+
+  /// Same result, with the n output rows computed concurrently on `exec`
+  /// (barrier join; each row writes a disjoint shard). Byte-identical to the
+  /// sequential overload; falls back to it when exec is null or serial.
+  std::vector<Shard> encode(BytesView data, common::Executor* exec) const;
 
   /// Reconstructs the original `data_size` bytes from any >= k distinct shards.
   /// Fails with kInvalidArgument on too few shards or inconsistent sizes.

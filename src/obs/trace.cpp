@@ -8,8 +8,15 @@
 
 namespace rockfs::obs {
 
-Span::Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+namespace {
+// The TaskTrace bound to this thread, if a fan-out branch is running here.
+thread_local TaskTrace* g_current_task = nullptr;
+}  // namespace
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), task_(other.task_), id_(other.id_) {
   other.tracer_ = nullptr;
+  other.task_ = nullptr;
   other.id_ = 0;
 }
 
@@ -17,8 +24,10 @@ Span& Span::operator=(Span&& other) noexcept {
   if (this != &other) {
     finish();
     tracer_ = other.tracer_;
+    task_ = other.task_;
     id_ = other.id_;
     other.tracer_ = nullptr;
+    other.task_ = nullptr;
     other.id_ = 0;
   }
   return *this;
@@ -27,36 +36,110 @@ Span& Span::operator=(Span&& other) noexcept {
 Span::~Span() { finish(); }
 
 void Span::set_duration(std::uint64_t us) {
-  if (tracer_) tracer_->set_span_duration(id_, us);
+  if (task_) task_->set_span_duration(id_, us);
+  else if (tracer_) tracer_->set_span_duration(id_, us);
 }
 
 void Span::charge_child(std::uint64_t us) {
-  if (tracer_) tracer_->charge_span(id_, us);
+  if (task_) task_->charge_span(id_, us);
+  else if (tracer_) tracer_->charge_span(id_, us);
 }
 
 void Span::set_outcome(ErrorCode code) {
-  if (tracer_) tracer_->set_span_outcome(id_, code);
+  if (task_) task_->set_span_outcome(id_, code);
+  else if (tracer_) tracer_->set_span_outcome(id_, code);
 }
 
 void Span::set_retries(std::uint32_t n) {
-  if (tracer_) tracer_->set_span_retries(id_, n);
+  if (task_) task_->set_span_retries(id_, n);
+  else if (tracer_) tracer_->set_span_retries(id_, n);
 }
 
 void Span::set_bytes(std::uint64_t n) {
-  if (tracer_) tracer_->set_span_bytes(id_, n);
+  if (task_) task_->set_span_bytes(id_, n);
+  else if (tracer_) tracer_->set_span_bytes(id_, n);
 }
 
 void Span::set_label(std::string label) {
-  if (tracer_) tracer_->set_span_label(id_, std::move(label));
+  if (task_) task_->set_span_label(id_, std::move(label));
+  else if (tracer_) tracer_->set_span_label(id_, std::move(label));
 }
 
 void Span::finish() {
-  if (tracer_) {
+  if (task_) {
+    task_->finish_span(id_);
+    task_ = nullptr;
+    id_ = 0;
+  } else if (tracer_) {
     tracer_->finish_span(id_);
     tracer_ = nullptr;
     id_ = 0;
   }
 }
+
+Span TaskTrace::span(std::string name, SpanOptions opts) {
+  if (!enabled_) return Span{};
+  detail::OpenSpan open;
+  open.id = next_local_++;
+  open.fanout = opts.fanout;
+  open.event.id = open.id;
+  open.event.name = std::move(name);
+  open.event.start_us = clock_ ? clock_->now_us() : 0;
+  if (!stack_.empty()) {
+    const detail::OpenSpan& parent = stack_.back();
+    open.event.parent = parent.id;
+    if (parent.fanout) open.event.kind = SpanKind::kParallel;
+  }
+  stack_.push_back(std::move(open));
+  return Span{this, stack_.back().id};
+}
+
+detail::OpenSpan* TaskTrace::find_open(std::uint64_t id) {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+void TaskTrace::finish_span(std::uint64_t id) {
+  detail::OpenSpan* open = find_open(id);
+  if (!open || open->finished) return;
+  open->finished = true;
+  while (!stack_.empty() && stack_.back().finished) {
+    done_.push_back(std::move(stack_.back().event));
+    stack_.pop_back();
+  }
+}
+
+void TaskTrace::set_span_duration(std::uint64_t id, std::uint64_t us) {
+  if (detail::OpenSpan* open = find_open(id)) open->event.duration_us = us;
+}
+
+void TaskTrace::charge_span(std::uint64_t id, std::uint64_t us) {
+  if (detail::OpenSpan* open = find_open(id)) open->event.charged_us += us;
+}
+
+void TaskTrace::set_span_retries(std::uint64_t id, std::uint32_t n) {
+  if (detail::OpenSpan* open = find_open(id)) open->event.retries = n;
+}
+
+void TaskTrace::set_span_bytes(std::uint64_t id, std::uint64_t n) {
+  if (detail::OpenSpan* open = find_open(id)) open->event.bytes = n;
+}
+
+void TaskTrace::set_span_label(std::uint64_t id, std::string label) {
+  if (detail::OpenSpan* open = find_open(id)) open->event.label = std::move(label);
+}
+
+void TaskTrace::set_span_outcome(std::uint64_t id, ErrorCode code) {
+  if (detail::OpenSpan* open = find_open(id)) open->event.outcome = code;
+}
+
+TaskBinding::TaskBinding(TaskTrace* task) : prev_(g_current_task) {
+  g_current_task = task;
+}
+
+TaskBinding::~TaskBinding() { g_current_task = prev_; }
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
   ring_.resize(capacity_);
@@ -86,6 +169,7 @@ void Tracer::set_capacity(std::size_t capacity) {
 }
 
 Span Tracer::span(std::string name, SpanOptions opts) {
+  if (g_current_task) return g_current_task->span(std::move(name), opts);
   std::lock_guard<std::mutex> lk(mu_);
   if (!enabled_) return Span{};
   OpenSpan open;
@@ -101,6 +185,44 @@ Span Tracer::span(std::string name, SpanOptions opts) {
   }
   stack_.push_back(std::move(open));
   return Span{this, stack_.back().id};
+}
+
+TaskTrace Tracer::make_task() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskTrace task;
+  task.enabled_ = enabled_;
+  task.clock_ = clock_;
+  return task;
+}
+
+void Tracer::splice(std::vector<TaskTrace>& tasks) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t parent_id = 0;
+  bool parent_fanout = false;
+  if (!stack_.empty()) {
+    parent_id = stack_.back().id;
+    parent_fanout = stack_.back().fanout;
+  }
+  for (TaskTrace& task : tasks) {
+    if (!task.enabled_) continue;
+    const std::uint64_t base = next_id_;
+    for (TraceEvent& local : task.done_) {
+      TraceEvent ev = std::move(local);
+      ev.id = base + ev.id - 1;
+      if (ev.parent == 0) {
+        ev.parent = parent_id;
+        if (parent_fanout) ev.kind = SpanKind::kParallel;
+      } else {
+        ev.parent = base + ev.parent - 1;
+      }
+      ring_[finished_ % capacity_] = std::move(ev);
+      ++finished_;
+    }
+    next_id_ += task.next_local_ - 1;
+    task.done_.clear();
+    task.stack_.clear();
+    task.next_local_ = 1;
+  }
 }
 
 Tracer::OpenSpan* Tracer::find_open(std::uint64_t id) {

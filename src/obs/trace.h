@@ -19,6 +19,18 @@
 //     (which the owner sets to the composed quorum/max delay).
 // With that discipline, reconcile_exclusive_us(events, root) ==
 // root.duration_us exactly; the fig5 bench asserts this within 1%.
+//
+// Concurrency: the tracer's single open-span stack is meaningless when a
+// fan-out executes branches on worker threads, so pooled branches trace into
+// per-task buffers instead. The coordinator mints one TaskTrace per branch
+// (Tracer::make_task), the worker binds it thread-locally for the branch's
+// lifetime (TaskBinding) — every tracer().span() call on that thread,
+// including ones deep inside CloudProvider, lands in the buffer with local
+// ids — and after the join the coordinator splices the buffers back
+// (Tracer::splice) in branch-index order, renumbering ids and parenting each
+// buffer's root spans under the innermost open coordinator span. Because the
+// splice order is the branch index, not completion order, the exported dump
+// is byte-identical whether branches ran inline or on N threads.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +69,16 @@ struct SpanOptions {
 };
 
 class Tracer;
+class TaskTrace;
+
+namespace detail {
+struct OpenSpan {
+  std::uint64_t id = 0;
+  TraceEvent event;
+  bool fanout = false;
+  bool finished = false;
+};
+}  // namespace detail
 
 /// Move-only RAII handle. A default-constructed (or disabled-tracer) span is
 /// inert: every setter is a no-op and nothing is recorded.
@@ -79,15 +101,66 @@ class Span {
   /// Record the span into the ring buffer. Idempotent.
   void finish();
 
-  bool active() const { return tracer_ != nullptr; }
+  bool active() const { return tracer_ != nullptr || task_ != nullptr; }
   std::uint64_t id() const { return id_; }
 
  private:
   friend class Tracer;
+  friend class TaskTrace;
   Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+  Span(TaskTrace* task, std::uint64_t id) : task_(task), id_(id) {}
 
   Tracer* tracer_ = nullptr;
+  TaskTrace* task_ = nullptr;
   std::uint64_t id_ = 0;
+};
+
+/// Per-branch span buffer for pooled fan-outs. Thread-confined: the owning
+/// worker is the only thread that touches it between TaskBinding and the
+/// coordinator's post-join Tracer::splice, so it needs no lock. Spans get
+/// local ids starting at 1 (0 = "root of this buffer"); splice renumbers
+/// them into the tracer's global sequence. Must not move while bound.
+class TaskTrace {
+ public:
+  TaskTrace() = default;
+  TaskTrace(TaskTrace&&) = default;
+  TaskTrace& operator=(TaskTrace&&) = default;
+
+  /// Open a span in this buffer; parent = innermost open span here.
+  Span span(std::string name, SpanOptions opts = {});
+  bool enabled() const { return enabled_; }
+
+ private:
+  friend class Tracer;
+  friend class Span;
+
+  void finish_span(std::uint64_t id);
+  void set_span_duration(std::uint64_t id, std::uint64_t us);
+  void charge_span(std::uint64_t id, std::uint64_t us);
+  void set_span_retries(std::uint64_t id, std::uint32_t n);
+  void set_span_bytes(std::uint64_t id, std::uint64_t n);
+  void set_span_label(std::uint64_t id, std::string label);
+  void set_span_outcome(std::uint64_t id, ErrorCode code);
+  detail::OpenSpan* find_open(std::uint64_t id);
+
+  bool enabled_ = false;
+  sim::SimClockPtr clock_;
+  std::uint64_t next_local_ = 1;
+  std::vector<detail::OpenSpan> stack_;  // innermost open span at the back
+  std::vector<TraceEvent> done_;         // finished, in finish order
+};
+
+/// RAII thread-local bind: while alive, tracer().span() calls on this thread
+/// route into `task`. Nest-safe (restores the previous binding).
+class TaskBinding {
+ public:
+  explicit TaskBinding(TaskTrace* task);
+  ~TaskBinding();
+  TaskBinding(const TaskBinding&) = delete;
+  TaskBinding& operator=(const TaskBinding&) = delete;
+
+ private:
+  TaskTrace* prev_;
 };
 
 /// Deterministic trace sink: fixed-capacity ring buffer keyed by simulated
@@ -106,8 +179,19 @@ class Tracer {
   /// Resizes the ring buffer and clears recorded events.
   void set_capacity(std::size_t capacity);
 
-  /// Open a span. Parent = innermost open span on this tracer.
+  /// Open a span. Parent = innermost open span on this tracer. When the
+  /// calling thread has a TaskBinding, routes into that TaskTrace instead.
   Span span(std::string name, SpanOptions opts = {});
+
+  /// Mint an empty per-branch buffer carrying this tracer's enabled flag and
+  /// clock. Mint all buffers before launching the fan-out.
+  TaskTrace make_task() const;
+
+  /// Append every buffer's finished spans to the ring in buffer order,
+  /// renumbering local ids into the global sequence and parenting each
+  /// buffer's roots under the innermost open span (kParallel when that span
+  /// is a fanout group). Buffers are drained and reusable afterwards.
+  void splice(std::vector<TaskTrace>& tasks);
 
   /// Finished spans currently retained, ordered by id (i.e. open order).
   std::vector<TraceEvent> events() const;
@@ -123,12 +207,7 @@ class Tracer {
  private:
   friend class Span;
 
-  struct OpenSpan {
-    std::uint64_t id = 0;
-    TraceEvent event;
-    bool fanout = false;
-    bool finished = false;
-  };
+  using OpenSpan = detail::OpenSpan;
 
   // Called by Span. All take the mutex.
   void finish_span(std::uint64_t id);

@@ -42,6 +42,8 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
   cfg.protocol = options_.protocol;
   cfg.writer = crypto::keypair_from_private(keystore_->user_private_key);
   cfg.trusted_writers = options_.trusted_writers;
+  cfg.executor = options_.executor;
+  cfg.join_mode = options_.join_mode;
   storage_ = std::make_shared<depsky::DepSkyClient>(std::move(cfg), drbg_->generate(32));
 
   scfs::ScfsOptions fs_opts;

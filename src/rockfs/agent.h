@@ -46,6 +46,12 @@ struct AgentOptions {
   /// Fencing epochs on the close path (scfs/lease.h). Off reproduces the
   /// PR 3 close pipeline byte-for-byte (bench baseline).
   bool fencing = true;
+  /// Thread pool for the DepSky fan-out and per-share encode/seal work
+  /// (common/executor.h); null runs everything inline. Seeded results are
+  /// byte-identical either way (the determinism contract, ARCHITECTURE §11).
+  std::shared_ptr<common::Executor> executor;
+  /// Fan-out join discipline; kBarrier keeps virtual time deterministic.
+  common::JoinMode join_mode = common::JoinMode::kBarrier;
 };
 
 /// Where the agent finds PVSS share-holder keys at login time. The device

@@ -12,6 +12,9 @@ namespace rockfs::core {
 Deployment::Deployment(DeploymentOptions options)
     : options_(std::move(options)),
       clock_(std::make_shared<sim::SimClock>()),
+      executor_(options_.executor_threads > 0
+                    ? std::make_shared<common::ThreadPool>(options_.executor_threads)
+                    : nullptr),
       clouds_(cloud::make_provider_fleet(clock_, 3 * options_.f + 1, options_.seed)),
       coordination_(std::make_shared<coord::CoordinationService>(clock_, options_.f,
                                                                  options_.seed ^ 0xC0C0)),
@@ -19,6 +22,8 @@ Deployment::Deployment(DeploymentOptions options)
       admin_keys_(crypto::generate_keypair(setup_drbg_)),
       crash_(std::make_shared<sim::CrashSchedule>()) {
   if (options_.agent.f != options_.f) options_.agent.f = options_.f;
+  // Every agent added later (and the admin storage/scrubber) shares the pool.
+  if (executor_ && !options_.agent.executor) options_.agent.executor = executor_;
   // Spans across this deployment's stack stamp their start times from the
   // deployment's virtual clock.
   obs::tracer().bind_clock(clock_);
@@ -71,7 +76,7 @@ RockFsAgent& Deployment::add_user(const std::string& user_id, const AgentOptions
                     us.external_holder.keys.public_key};
   us.sealed = seal_keystore(ks, {us.device_holder, us.coordination_holder,
                                  us.external_holder},
-                            /*k=*/2, setup_drbg_);
+                            /*k=*/2, setup_drbg_, /*password=*/{}, executor_.get());
 
   // The sealed keystore (public) is kept in the coordination service so any
   // of the user's devices can fetch it. The third field is the keystore
@@ -164,6 +169,7 @@ std::shared_ptr<depsky::DepSkyClient> Deployment::make_admin_storage() {
     storage_cfg.trusted_writers.push_back(
         crypto::point_encode(other_secrets.user_public_key));
   }
+  storage_cfg.executor = executor_;
   return std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
                                                 setup_drbg_.generate(32));
 }
@@ -470,6 +476,7 @@ LogScrubber Deployment::make_scrubber(const std::string& user_id, ScrubOptions o
   // The scrubber reads (and repairs) units written by the user and by the
   // admin chain: trust both signers.
   storage_cfg.trusted_writers.push_back(crypto::point_encode(us.user_public_key));
+  storage_cfg.executor = executor_;
   auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
                                                         setup_drbg_.generate(32));
   return LogScrubber(user_id, std::move(storage), admin_tokens(), coordination_, clock_,

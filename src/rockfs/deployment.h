@@ -23,6 +23,12 @@ struct DeploymentOptions {
   std::uint64_t seed = 2018;
   std::string fs_id = "rockfs";
   AgentOptions agent;  // defaults applied to every user added
+  /// > 0: the deployment owns one shared thread pool of this many workers
+  /// and hands it to every agent, the admin storage and the scrubber, so
+  /// the whole stack (including the SCFS close path) fans out for real.
+  /// 0 (default) keeps everything inline. Seeded runs are byte-identical
+  /// at any value (kBarrier joins).
+  std::size_t executor_threads = 0;
 };
 
 class Deployment {
@@ -170,6 +176,10 @@ class Deployment {
 
   DeploymentOptions options_;
   sim::SimClockPtr clock_;
+  /// Shared fan-out pool (executor_threads > 0), handed to every agent and
+  /// admin-side DepSky client. Declared before the agents map so workers
+  /// outlive nothing that might still queue onto them.
+  std::shared_ptr<common::Executor> executor_;
   std::vector<cloud::CloudProviderPtr> clouds_;
   std::shared_ptr<coord::CoordinationService> coordination_;
   crypto::Drbg setup_drbg_;

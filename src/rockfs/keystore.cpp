@@ -104,7 +104,8 @@ Result<SealedKeystore> SealedKeystore::deserialize(BytesView b) {
 
 SealedKeystore seal_keystore(const Keystore& keystore,
                              const std::vector<ShareHolder>& holders, std::size_t k,
-                             crypto::Drbg& drbg, const std::string& password) {
+                             crypto::Drbg& drbg, const std::string& password,
+                             common::Executor* exec) {
   std::vector<crypto::Point> holder_pubs;
   holder_pubs.reserve(holders.size());
   for (const auto& h : holders) holder_pubs.push_back(h.keys.public_key);
@@ -114,7 +115,7 @@ SealedKeystore seal_keystore(const Keystore& keystore,
   // by combining shares in the exponent.
   const crypto::Uint256 secret = crypto::scalar_from_bytes(drbg.generate(32));
   SealedKeystore out;
-  out.deal = secretshare::pvss_share(secret, holder_pubs, k, drbg);
+  out.deal = secretshare::pvss_share(secret, holder_pubs, k, drbg, exec);
   Bytes pvss_key = secretshare::pvss_secret_key(secretshare::pvss_public_secret(secret));
   Bytes seal_key = sealing_key(pvss_key, password);
   Bytes plain = keystore.serialize();

@@ -76,10 +76,12 @@ struct SealedKeystore {
 /// paper's §5.4, "to recover the keystore it is not enough to reveal the
 /// secrets since this file is also encrypted, requiring a user password":
 /// when `password` is non-empty it is folded into the sealing key, so an
-/// attacker needs BOTH k shares and the password.
+/// attacker needs BOTH k shares and the password. `exec` parallelizes the
+/// per-holder PVSS share generation (the deal is byte-identical either way).
 SealedKeystore seal_keystore(const Keystore& keystore,
                              const std::vector<ShareHolder>& holders, std::size_t k,
-                             crypto::Drbg& drbg, const std::string& password = {});
+                             crypto::Drbg& drbg, const std::string& password = {},
+                             common::Executor* exec = nullptr);
 
 /// Reconstructs the keystore from >= k holders (paper's login / recovery
 /// flow): decrypt each holder's share, verifyS it, combine, unseal.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/executor.h"
 #include "crypto/sha256.h"
 
 namespace rockfs::secretshare {
@@ -55,12 +56,18 @@ DleqProof read_proof(BytesView b, std::size_t* off) {
 
 DleqProof dleq_prove(const Point& g1, const Point& h1, const Point& g2, const Point& h2,
                      const Uint256& witness, crypto::Drbg& drbg) {
-  const Uint256 w = crypto::scalar_from_bytes(drbg.generate(32));
-  const Point a1 = crypto::scalar_mul(w, g1);
-  const Point a2 = crypto::scalar_mul(w, g2);
+  return dleq_prove_with_nonce(g1, h1, g2, h2, witness,
+                               crypto::scalar_from_bytes(drbg.generate(32)));
+}
+
+DleqProof dleq_prove_with_nonce(const Point& g1, const Point& h1, const Point& g2,
+                                const Point& h2, const Uint256& witness,
+                                const Uint256& nonce) {
+  const Point a1 = crypto::scalar_mul(nonce, g1);
+  const Point a2 = crypto::scalar_mul(nonce, g2);
   DleqProof proof;
   proof.c = dleq_challenge(g1, h1, g2, h2, a1, a2);
-  proof.r = crypto::scalar_sub(w, crypto::scalar_mul_mod_n(proof.c, witness));
+  proof.r = crypto::scalar_sub(nonce, crypto::scalar_mul_mod_n(proof.c, witness));
   return proof;
 }
 
@@ -75,7 +82,7 @@ bool dleq_verify(const Point& g1, const Point& h1, const Point& g2, const Point&
 }
 
 PvssDeal pvss_share(const Uint256& secret, const std::vector<Point>& participant_keys,
-                    std::size_t k, crypto::Drbg& drbg) {
+                    std::size_t k, crypto::Drbg& drbg, common::Executor* exec) {
   const std::size_t n = participant_keys.size();
   if (k == 0 || k > n) throw std::invalid_argument("pvss_share: need 1 <= k <= n");
 
@@ -91,21 +98,30 @@ PvssDeal pvss_share(const Uint256& secret, const std::vector<Point>& participant
   deal.commitments.reserve(k);
   for (const Uint256& a : coeffs) deal.commitments.push_back(crypto::scalar_mul_base(a));
 
-  deal.shares.reserve(n);
-  for (std::size_t i = 1; i <= n; ++i) {
+  // Pre-draw the per-share DLEQ nonces in index order — the same DRBG
+  // stream the sequential loop used to consume — so the per-share scalar
+  // work below can run concurrently without touching the DRBG.
+  std::vector<Uint256> nonces(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nonces[i] = crypto::scalar_from_bytes(drbg.generate(32));
+  }
+
+  deal.shares.resize(n);
+  common::parallel_for_index(exec, n, [&](std::size_t idx) {
+    const std::size_t i = idx + 1;
     // s_i = p(i) via Horner over Z_n.
     Uint256 si(0);
     for (std::size_t j = k; j > 0; --j) {
       si = crypto::scalar_add(crypto::scalar_mul_mod_n(si, Uint256(i)), coeffs[j - 1]);
     }
-    const Point& pk = participant_keys[i - 1];
+    const Point& pk = participant_keys[idx];
     PvssEncryptedShare share;
     share.index = i;
     share.y = crypto::scalar_mul(si, pk);
     const Point xi = crypto::scalar_mul_base(si);
-    share.proof = dleq_prove(crypto::generator(), xi, pk, share.y, si, drbg);
-    deal.shares.push_back(std::move(share));
-  }
+    share.proof = dleq_prove_with_nonce(crypto::generator(), xi, pk, share.y, si, nonces[idx]);
+    deal.shares[idx] = std::move(share);
+  });
   return deal;
 }
 

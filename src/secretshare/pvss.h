@@ -19,6 +19,10 @@
 #include "crypto/secp256k1.h"
 #include "crypto/signature.h"
 
+namespace rockfs::common {
+class Executor;
+}
+
 namespace rockfs::secretshare {
 
 /// Chaum-Pedersen proof that log_{g1}(h1) == log_{g2}(h2).
@@ -30,6 +34,14 @@ struct DleqProof {
 DleqProof dleq_prove(const crypto::Point& g1, const crypto::Point& h1,
                      const crypto::Point& g2, const crypto::Point& h2,
                      const crypto::Uint256& witness, crypto::Drbg& drbg);
+
+/// Same proof with the commitment nonce supplied by the caller. Lets a
+/// dealer pre-draw every nonce from the DRBG in a fixed order and then build
+/// the proofs concurrently without the DRBG stream depending on scheduling.
+DleqProof dleq_prove_with_nonce(const crypto::Point& g1, const crypto::Point& h1,
+                                const crypto::Point& g2, const crypto::Point& h2,
+                                const crypto::Uint256& witness,
+                                const crypto::Uint256& nonce);
 
 bool dleq_verify(const crypto::Point& g1, const crypto::Point& h1, const crypto::Point& g2,
                  const crypto::Point& h2, const DleqProof& proof);
@@ -62,9 +74,13 @@ struct PvssDecryptedShare {
 };
 
 /// `share`: dealer splits `secret` among the holders of `participant_keys`.
+/// All DRBG draws (coefficients, then one DLEQ nonce per share in index
+/// order) happen up front on the calling thread; the per-share scalar
+/// multiplications and proofs then run on `exec` when given, producing a
+/// byte-identical deal at any thread count.
 PvssDeal pvss_share(const crypto::Uint256& secret,
                     const std::vector<crypto::Point>& participant_keys, std::size_t k,
-                    crypto::Drbg& drbg);
+                    crypto::Drbg& drbg, common::Executor* exec = nullptr);
 
 /// `verifyD`: checks the whole deal (commitment consistency + every DLEQ).
 bool pvss_verify_deal(const PvssDeal& deal,

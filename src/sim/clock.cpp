@@ -6,7 +6,7 @@ namespace rockfs::sim {
 
 void SimClock::advance_us(Micros us) {
   if (us < 0) throw std::invalid_argument("SimClock::advance_us: negative advance");
-  now_us_ += us;
+  now_us_.fetch_add(us, std::memory_order_relaxed);
 }
 
 }  // namespace rockfs::sim

@@ -3,25 +3,32 @@
 // reproducible on any machine, independent of the host's real speed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
 namespace rockfs::sim {
 
 /// Monotonic virtual clock counted in microseconds.
+///
+/// Concurrency contract: only the coordinator thread advances the clock;
+/// pooled fan-out branches may read it (span timestamps) but never advance
+/// it — branches return their virtual delays and the coordinator composes
+/// them (timed.h quorum_delay) into a single advance after the join. The
+/// counter is atomic so those cross-thread reads are well-defined.
 class SimClock {
  public:
   using Micros = std::int64_t;
 
-  Micros now_us() const noexcept { return now_us_; }
-  double now_seconds() const noexcept { return static_cast<double>(now_us_) / 1e6; }
+  Micros now_us() const noexcept { return now_us_.load(std::memory_order_relaxed); }
+  double now_seconds() const noexcept { return static_cast<double>(now_us()) / 1e6; }
 
   /// Moves time forward. Negative advances are a bug.
   void advance_us(Micros us);
   void advance_seconds(double s) { advance_us(static_cast<Micros>(s * 1e6)); }
 
  private:
-  Micros now_us_ = 0;
+  std::atomic<Micros> now_us_{0};
 };
 
 using SimClockPtr = std::shared_ptr<SimClock>;
