@@ -10,6 +10,11 @@ namespace rockfs::cloud {
 namespace {
 bool is_log_key(const std::string& key) { return key.starts_with(kLogPrefix); }
 
+// Unit metadata objects end in ".meta" (depsky convention); everything else
+// in the depsky namespaces is a data share. The withhold_shares adversary
+// answers metadata honestly and claims the shares are gone.
+bool is_metadata_key(const std::string& key) { return key.ends_with(".meta"); }
+
 // A timed-out request stalls the client for several round-trips before it
 // gives up; charge that wait so retry deadlines bite in virtual time.
 constexpr double kTimeoutStallFactor = 10.0;
@@ -305,6 +310,44 @@ sim::SimClock::Micros CloudProvider::charge(sim::SimClock::Micros base_us,
   return static_cast<sim::SimClock::Micros>(static_cast<double>(base_us) * factor);
 }
 
+std::int64_t CloudProvider::adversarial_cutoff(const std::string& viewer) const {
+  const auto& adv = faults_->adversarial();
+  switch (adv.mode) {
+    case sim::AdversarialMode::kRollback:
+      return adv.freeze_us;
+    case sim::AdversarialMode::kEquivocate:
+      return sim::adversarial_stale_group(viewer, adv.partition_salt) ? adv.freeze_us
+                                                                      : -1;
+    case sim::AdversarialMode::kReplayWindow: {
+      const std::int64_t now = clock_->now_us();
+      return now > adv.window_us ? now - adv.window_us : 0;
+    }
+    case sim::AdversarialMode::kWithholdShares:
+    case sim::AdversarialMode::kNone:
+      return -1;
+  }
+  return -1;
+}
+
+const CloudProvider::HistoryEntry* CloudProvider::view_at(const std::string& key,
+                                                          std::int64_t cutoff_us) const {
+  const auto it = history_.find(key);
+  if (it == history_.end()) return nullptr;
+  const HistoryEntry* best = nullptr;
+  // Entries are in acceptance order; the last one at or before the cutoff is
+  // what a reader saw then.
+  for (const auto& e : it->second) {
+    if (e.modified_us <= cutoff_us) best = &e;
+  }
+  if (best == nullptr || best->removed) return nullptr;
+  return best;
+}
+
+void CloudProvider::record_history(const std::string& key, const Object& obj,
+                                   bool removed) {
+  history_[key].push_back({obj.data, obj.modified_us, obj.writer, removed});
+}
+
 sim::Timed<Status> CloudProvider::put_impl(const AccessToken& token,
                                            const std::string& key, BytesView data) {
   auto gate = enter_op(token, key, OpKind::kPut);
@@ -321,6 +364,7 @@ sim::Timed<Status> CloudProvider::put_impl(const AccessToken& token,
       obj.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(kept));
       obj.modified_us = clock_->now_us();
       obj.writer = token.user_id;
+      record_history(key, obj, /*removed=*/false);
       objects_[key] = std::move(obj);
       return {std::move(gate.status), delay};
     }
@@ -332,6 +376,7 @@ sim::Timed<Status> CloudProvider::put_impl(const AccessToken& token,
   obj.data.assign(data.begin(), data.end());
   obj.modified_us = clock_->now_us();
   obj.writer = token.user_id;
+  record_history(key, obj, /*removed=*/false);
   objects_[key] = std::move(obj);
   return {Status::Ok(), delay};
 }
@@ -344,6 +389,28 @@ sim::Timed<Result<Bytes>> CloudProvider::get_impl(const AccessToken& token,
     return {Error{gate.status.error()},
             faulted ? charge(net_.rpc_delay_us(64, 0), gate.actions)
                     : net_.rpc_delay_us(64, 64)};
+  }
+  if (faults_->adversarial_active()) {
+    if (faults_->adversarial().mode == sim::AdversarialMode::kWithholdShares) {
+      if (!is_metadata_key(key)) {
+        // Metadata is served honestly; the data shares "were never uploaded".
+        return {Error{ErrorCode::kNotFound, name_ + ": no such object: " + key},
+                net_.rpc_delay_us(64, 64)};
+      }
+    } else if (const std::int64_t cutoff = adversarial_cutoff(token.user_id);
+               cutoff >= 0) {
+      // Serve the reconstructed old view: real bytes this provider once
+      // stored, so every signature and digest still verifies.
+      const HistoryEntry* e = view_at(key, cutoff);
+      if (e == nullptr) {
+        return {Error{ErrorCode::kNotFound, name_ + ": no such object: " + key},
+                net_.rpc_delay_us(64, 64)};
+      }
+      traffic_.add_download(e->data.size());
+      Bytes data = e->data;
+      if (gate.actions.corrupt_payload) corrupt_payload(data);
+      return {std::move(data), charge(net_.download_delay_us(e->data.size()), gate.actions)};
+    }
   }
   const auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -368,6 +435,10 @@ sim::Timed<Status> CloudProvider::remove_impl(const AccessToken& token,
   if (objects_.erase(key) == 0) {
     return {{ErrorCode::kNotFound, name_ + ": no such object: " + key}, delay};
   }
+  Object tombstone;
+  tombstone.modified_us = clock_->now_us();
+  tombstone.writer = token.user_id;
+  record_history(key, tombstone, /*removed=*/true);
   return {Status::Ok(), delay};
 }
 
@@ -387,9 +458,27 @@ sim::Timed<Result<std::vector<ObjectStat>>> CloudProvider::list_impl(
   }
   std::vector<ObjectStat> out;
   std::size_t response_bytes = 0;
+  const bool withholding =
+      faults_->adversarial_active() &&
+      faults_->adversarial().mode == sim::AdversarialMode::kWithholdShares;
+  const std::int64_t cutoff =
+      faults_->adversarial_active() ? adversarial_cutoff(token.user_id) : -1;
+  if (cutoff >= 0) {
+    // Listing reflects the same reconstructed view the gets serve.
+    for (auto it = history_.lower_bound(prefix); it != history_.end(); ++it) {
+      if (!it->first.starts_with(prefix)) break;
+      if (token.scope == TokenScope::kLogAppend && !is_log_key(it->first)) continue;
+      const HistoryEntry* e = view_at(it->first, cutoff);
+      if (e == nullptr) continue;
+      out.push_back({it->first, e->data.size(), e->modified_us, e->writer});
+      response_bytes += it->first.size() + 32;
+    }
+    return {std::move(out), charge(net_.rpc_delay_us(64, response_bytes), gate.actions)};
+  }
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (!it->first.starts_with(prefix)) break;
     if (token.scope == TokenScope::kLogAppend && !is_log_key(it->first)) continue;
+    if (withholding && !is_metadata_key(it->first)) continue;
     out.push_back({it->first, it->second.data.size(), it->second.modified_us,
                    it->second.writer});
     response_bytes += it->first.size() + 32;

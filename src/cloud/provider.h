@@ -144,6 +144,18 @@ class CloudProvider {
     std::string writer;
   };
 
+  /// One accepted mutation of a key, in acceptance order. The history feeds
+  /// adversarial serving (sim::AdversarialMode): a malicious provider keeps
+  /// accepting and acking writes like an honest one but answers reads from a
+  /// reconstructed old view — every byte it serves is something it really
+  /// stored, so signatures and digests verify.
+  struct HistoryEntry {
+    Bytes data;
+    std::int64_t modified_us = 0;
+    std::string writer;
+    bool removed = false;
+  };
+
   Status authorize(const AccessToken& token, const std::string& key, bool write,
                    bool remove) const;
   Status check_token(const AccessToken& token) const;
@@ -189,12 +201,23 @@ class CloudProvider {
   sim::SimClock::Micros charge(sim::SimClock::Micros base_us,
                                const sim::FaultActions& actions) const;
 
+  /// Cutoff instant of the adversarially-served view for `viewer`, or -1
+  /// when this viewer gets the live view (honest provider, equivocation
+  /// fresh group).
+  std::int64_t adversarial_cutoff(const std::string& viewer) const;
+  /// Latest surviving mutation of `key` at or before `cutoff_us`; nullptr if
+  /// the key did not exist (or was removed) in that view.
+  const HistoryEntry* view_at(const std::string& key, std::int64_t cutoff_us) const;
+  /// Records one accepted mutation in the serving history.
+  void record_history(const std::string& key, const Object& obj, bool removed);
+
   std::string name_;
   sim::SimClockPtr clock_;
   sim::NetworkModel net_;
   Rng rng_;
   Bytes token_secret_;
   std::map<std::string, Object> objects_;
+  std::map<std::string, std::vector<HistoryEntry>> history_;
   std::map<std::string, Object> cold_;
   std::set<std::uint64_t> revoked_nonces_;
   std::map<std::string, std::uint64_t> token_epochs_;       // next-issuance epoch

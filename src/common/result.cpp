@@ -19,6 +19,8 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kPartialCommit: return "partial_commit";
     case ErrorCode::kFenced: return "fenced";
     case ErrorCode::kRevoked: return "revoked";
+    case ErrorCode::kStaleVersion: return "stale_version";
+    case ErrorCode::kEquivocation: return "equivocation";
   }
   return "unknown";
 }

@@ -27,6 +27,8 @@ enum class ErrorCode {
   kPartialCommit,     // durable payload, uncommitted metadata; retry is safe
   kFenced,            // writer's fencing epoch is stale; commit refused
   kRevoked,           // token epoch below the user's revocation floor
+  kStaleVersion,      // quorum served a version below the witnessed high-water mark
+  kEquivocation,      // cloud served divergent valid versions to different sessions
 };
 
 /// Human-readable name of an ErrorCode ("not_found", "integrity", ...).

@@ -84,6 +84,7 @@ Result<CaBlob> decode_ca_blob(BytesView blob) {
 
 DepSkyClient::DepSkyClient(DepSkyConfig config, BytesView drbg_seed)
     : config_(std::move(config)),
+      witness_(config_.witness ? config_.witness : std::make_shared<VersionWitness>()),
       drbg_(drbg_seed, to_bytes("depsky-client")),
       // Fixed seed: the jitter stream must not consume from drbg_ (that would
       // shift the AES key schedule) and need not vary between clients — the
@@ -119,6 +120,10 @@ std::vector<std::size_t> DepSkyClient::contact_set() {
   std::vector<std::size_t> allowed;
   std::vector<std::size_t> open;
   for (std::size_t i = 0; i < n(); ++i) {
+    // Quarantined clouds are out of the quorum entirely: unlike breaker-open
+    // clouds they are never conscripted, because a proven liar answering a
+    // forced probe is worse than no answer at all.
+    if (health_[i]->quarantined()) continue;
     if (health_[i]->allow_request()) {
       allowed.push_back(i);
     } else {
@@ -163,6 +168,20 @@ void DepSkyClient::record_outcome(std::size_t cloud, const RetryOutcome& outcome
   } else {
     health_[cloud]->record_success();
   }
+}
+
+void DepSkyClient::flag_misbehavior(std::size_t cloud, MisbehaviorKind kind,
+                                    const std::string& unit) {
+  health_[cloud]->record_misbehavior(kind);
+  obs::metrics()
+      .counter(obs::metric_key(std::string("depsky.detect.") + misbehavior_kind_name(kind),
+                               config_.clouds[cloud]->name()))
+      .add();
+  obs::Span span = obs::tracer().span("depsky.misbehavior");
+  span.set_label(config_.clouds[cloud]->name() + ":" + misbehavior_kind_name(kind) +
+                 ":" + unit);
+  span.set_outcome(kind == MisbehaviorKind::kEquivocation ? ErrorCode::kEquivocation
+                                                          : ErrorCode::kStaleVersion);
 }
 
 sim::Timed<Result<Bytes>> DepSkyClient::guarded_get(std::size_t i,
@@ -214,12 +233,14 @@ DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
   group.set_label(phase);
   const bool data_phase = std::string_view(phase) == "data";
   QuorumPutResult result;
+  result.acked.assign(n(), false);
   std::vector<sim::SimClock::Micros> delays;
   std::vector<std::pair<std::size_t, ErrorCode>> failures;
   const auto push = [&](std::size_t i, sim::Timed<Status>&& put) {
     delays.push_back(put.delay);
     if (put.value.ok()) {
       ++result.acks;
+      result.acked[i] = true;
       if (data_phase) {
         // Acked data puts feed the byte-conservation invariant checked by
         // the property tests: sum(bytes) == blob size x sum(acks).
@@ -261,6 +282,7 @@ DepSkyClient::QuorumPutResult DepSkyClient::quorum_put(
     const common::CancelToken no_cancel;
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
+      if (health_[i]->quarantined()) continue;
       auto put = guarded_put(i, tokens[i], keys[i], blobs[i],
                              backoff_rng_.next_u64(), no_cancel);
       put.delay += round1;
@@ -315,12 +337,33 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
   UnitMetadata best;
   bool found = false;
   std::size_t responses = 0;
-  const auto ingest = [&](MetaProbe&& probe) {
+  const auto ingest = [&](std::size_t i, MetaProbe&& probe) {
     delays.push_back(probe.delay);
     if (probe.responded) ++responses;
-    if (probe.meta && (!found || probe.meta->version > best.version)) {
-      best = std::move(*probe.meta);
-      found = true;
+    if (probe.meta) {
+      // Freshness check against the witness: a cloud answering below its own
+      // provable mark is lying (an honest cloud that merely missed a write
+      // never has a mark above what it stores). kNotFound is deliberately
+      // NOT checked — remove/recreate makes it legitimate.
+      const std::string& cname = config_.clouds[i]->name();
+      if (const auto mark = witness_->meta_mark(unit, cname);
+          mark && probe.meta->version < mark->version) {
+        flag_misbehavior(i,
+                         mark->session == config_.session
+                             ? MisbehaviorKind::kRollback
+                             : MisbehaviorKind::kEquivocation,
+                         unit);
+      } else {
+        witness_->record_meta(unit, cname, probe.meta->version, config_.session);
+      }
+      // Equal versions tie-break on membership epoch so a freshly-stamped
+      // copy beats a not-yet-migrated one (reconfig.h fencing depends on it).
+      if (!found || probe.meta->version > best.version ||
+          (probe.meta->version == best.version &&
+           probe.meta->membership_epoch > best.membership_epoch)) {
+        best = std::move(*probe.meta);
+        found = true;
+      }
     }
   };
   const auto probe_cloud = [&](std::size_t i, std::uint64_t seed,
@@ -356,7 +399,7 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
       [](const MetaProbe& probe) { return probe.responded; });
   for (std::size_t j = 0; j < contacted.size(); ++j) {
     if (!round.included[j] || !round.results[j].has_value()) continue;
-    ingest(std::move(*round.results[j]));
+    ingest(contacted[j], std::move(*round.results[j]));
   }
   // Degraded fallback: if the first round missed the quorum and the breaker
   // held clouds back, try those too (sequenced after round one completes).
@@ -365,6 +408,7 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
     const common::CancelToken no_cancel;
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
+      if (health_[i]->quarantined()) continue;
       auto probe = probe_cloud(i, backoff_rng_.next_u64(), no_cancel);
       probe.delay += round1;
       {
@@ -372,7 +416,7 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
         ++stats_.forced_probes;
       }
       obs_.forced_probes->add();
-      ingest(std::move(probe));
+      ingest(i, std::move(probe));
     }
   }
 
@@ -388,6 +432,20 @@ DepSkyClient::MetadataFetch DepSkyClient::fetch_metadata(
     group.set_outcome(ErrorCode::kNotFound);
     return {Error{ErrorCode::kNotFound, "depsky: no such unit: " + unit}, delay};
   }
+  // Unit-level high-water mark: even a quorum cannot serve below a version
+  // this deployment has already confirmed. With honest majorities the
+  // per-cloud checks above fire first; reaching here means > f clouds
+  // collude, which must surface as an error, never as silently old data.
+  if (const auto umark = witness_->unit_mark(unit);
+      umark && best.version < umark->version) {
+    group.set_outcome(ErrorCode::kStaleVersion);
+    return {Error{ErrorCode::kStaleVersion,
+                  "depsky: quorum served version " + std::to_string(best.version) +
+                      " below witnessed high-water mark " +
+                      std::to_string(umark->version) + " for unit " + unit},
+            delay};
+  }
+  witness_->record_unit(unit, best.version, config_.session);
   return {std::move(best), delay};
 }
 
@@ -419,6 +477,20 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   std::uint64_t old_version = 0;
   if (head.metadata.ok()) {
     old_version = head.metadata->version;
+    // Membership fencing: the unit was migrated to a newer cloud set than
+    // this client knows about. Writing through the old set could land shares
+    // on a removed (possibly quarantined) cloud, so fail closed — the caller
+    // must re-learn the current membership (depsky/reconfig.h) first.
+    if (head.metadata->membership_epoch > config_.membership_epoch) {
+      span.set_duration(static_cast<std::uint64_t>(total_delay));
+      span.set_outcome(ErrorCode::kFenced);
+      return {Status{ErrorCode::kFenced,
+                     "depsky write: unit at membership epoch " +
+                         std::to_string(head.metadata->membership_epoch) +
+                         ", client configured for epoch " +
+                         std::to_string(config_.membership_epoch)},
+              total_delay};
+    }
   } else if (head.metadata.code() != ErrorCode::kNotFound) {
     span.set_duration(static_cast<std::uint64_t>(total_delay));
     span.set_outcome(head.metadata.code());
@@ -453,6 +525,7 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
   UnitMetadata meta;
   meta.unit = unit;
   meta.version = version;
+  meta.membership_epoch = config_.membership_epoch;
   meta.protocol = config_.protocol;
   meta.data_size = config_.protocol == Protocol::kA
                        ? data.size()
@@ -484,6 +557,13 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
                        shares_put.failure_detail + ")"},
             total_delay};
   }
+  // Every acked share upload is a witness mark: the cloud provably knows
+  // this version and can never again claim the share "was never uploaded".
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (shares_put.acked[i]) {
+      witness_->record_share(unit, config_.clouds[i]->name(), version);
+    }
+  }
 
   // Phase 5: metadata last, so readers never see a version whose shares are
   // not yet stable (the paper's §2.5 ordering argument).
@@ -502,6 +582,14 @@ sim::Timed<Status> DepSkyClient::write(const std::vector<cloud::AccessToken>& to
                        meta_put.failure_detail + ")"},
             total_delay};
   }
+  // Metadata acks pin each cloud's mark at the new version; the quorum
+  // confirms the unit-level high-water mark.
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (meta_put.acked[i]) {
+      witness_->record_meta(unit, config_.clouds[i]->name(), version, config_.session);
+    }
+  }
+  witness_->record_unit(unit, version, config_.session);
 
   // Garbage-collect the previous version's shares in the background (no
   // latency charge; deletes are not on the critical path). Log-namespace
@@ -559,6 +647,7 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
   struct ShareProbe {
     sim::SimClock::Micros delay = 0;
     bool valid = false;
+    bool not_found = false;
     Bytes blob;
   };
   const std::size_t needed = config_.protocol == Protocol::kA ? 1 : k();
@@ -575,12 +664,25 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
     if (got.value.ok() && ct_equal(crypto::sha256(*got.value), meta.share_digests[i])) {
       probe.valid = true;
       probe.blob = std::move(*got.value);
+    } else if (got.value.code() == ErrorCode::kNotFound) {
+      probe.not_found = true;
     }
     return probe;
   };
   const auto ingest = [&](std::size_t i, ShareProbe&& probe) {
     all_delays.push_back(probe.delay);
-    if (probe.valid) valid.push_back({i, std::move(probe.blob), probe.delay});
+    if (probe.valid) {
+      valid.push_back({i, std::move(probe.blob), probe.delay});
+    } else if (probe.not_found && !cold) {
+      // Cross-cloud audit: this cloud acked the upload of this very version's
+      // share and now claims it never existed. One incident is forgivable
+      // (provider-side loss happens); the ledger quarantines on repetition.
+      const std::string key = share_key(unit, meta.version, i);
+      if (const auto sm = witness_->share_mark(unit, config_.clouds[i]->name());
+          sm && *sm >= meta.version && !config_.clouds[i]->archived(key)) {
+        flag_misbehavior(i, MisbehaviorKind::kWithheldShare, unit);
+      }
+    }
   };
 
   const auto contacted = contact_set();
@@ -606,6 +708,7 @@ sim::Timed<Result<Bytes>> DepSkyClient::read_impl(
     const common::CancelToken no_cancel;
     for (std::size_t i = 0; i < n(); ++i) {
       if (std::find(contacted.begin(), contacted.end(), i) != contacted.end()) continue;
+      if (health_[i]->quarantined()) continue;
       {
         std::lock_guard<std::mutex> lk(stats_mu_);
         ++stats_.forced_probes;
@@ -840,6 +943,7 @@ sim::Timed<Result<DepSkyClient::ShareInventory>> DepSkyClient::share_inventory(
   inv.share_valid.assign(n(), false);
   inv.share_present.assign(n(), false);
   inv.share_archived.assign(n(), false);
+  inv.share_stale.assign(n(), false);
 
   // Direct per-cloud probes, deliberately bypassing the circuit breakers: a
   // scrub wants ground truth about every cloud, not fast availability.
@@ -862,10 +966,25 @@ sim::Timed<Result<DepSkyClient::ShareInventory>> DepSkyClient::share_inventory(
       cloud_delay += mg.delay;
       if (mg.value.ok()) {
         auto m = UnitMetadata::deserialize(*mg.value);
-        if (m.ok() && m->unit == unit && m->version >= meta.version && trusted(*m) &&
-            m->share_digests.size() == n()) {
-          ++inv.meta_replicas;
+        if (m.ok() && m->unit == unit && trusted(*m) && m->share_digests.size() == n()) {
+          // Stale-but-authentic replicas (what a rolled-back cloud serves)
+          // are counted separately and never inflate meta_replicas — the
+          // scrubber treats them as degradation, not redundancy.
+          if (m->version >= meta.version) {
+            ++inv.meta_replicas;
+          } else {
+            ++inv.meta_stale;
+          }
         }
+      }
+      // Distinguish "lost the share" from "serving the old version": when the
+      // current share is gone, check whether the previous version's share is
+      // still being offered instead.
+      if (!inv.share_valid[i] && !inv.share_archived[i] && meta.version > 1) {
+        auto old_got =
+            config_.clouds[i]->get(tokens[i], share_key(unit, meta.version - 1, i));
+        cloud_delay += old_got.delay;
+        if (old_got.value.ok()) inv.share_stale[i] = true;
       }
       probe_delays.push_back(cloud_delay);
     }
@@ -909,7 +1028,61 @@ sim::Timed<Status> DepSkyClient::remove(const std::vector<cloud::AccessToken>& t
     span.set_outcome(ErrorCode::kUnavailable);
     return {Status{ErrorCode::kUnavailable, "depsky remove: quorum unavailable"}, delay};
   }
+  // A sanctioned remove resets the freshness memory: recreating the unit at
+  // version 1 afterwards must not read as a rollback.
+  witness_->forget_unit(unit);
   return {Status::Ok(), delay};
+}
+
+sim::Timed<Status> DepSkyClient::stamp_membership_epoch(
+    const std::vector<cloud::AccessToken>& tokens, const std::string& unit,
+    std::uint64_t epoch) {
+  if (tokens.size() != n()) {
+    return {Status{ErrorCode::kInvalidArgument, "depsky stamp: one token per cloud"}, 0};
+  }
+  obs::Span span = obs::tracer().span("depsky.stamp_epoch");
+  span.set_label(unit);
+  auto head = fetch_metadata(tokens, unit);
+  sim::SimClock::Micros total_delay = head.delay;
+  span.charge_child(static_cast<std::uint64_t>(head.delay));
+  if (!head.metadata.ok()) {
+    span.set_duration(static_cast<std::uint64_t>(total_delay));
+    span.set_outcome(head.metadata.code());
+    return {Status{head.metadata.error()}, total_delay};
+  }
+  UnitMetadata meta = *head.metadata;
+  if (meta.membership_epoch >= epoch) {
+    // Already stamped (a resumed migration re-visits finished units).
+    span.set_duration(static_cast<std::uint64_t>(total_delay));
+    return {Status::Ok(), total_delay};
+  }
+  // Same version number — bumping it would orphan the share objects, whose
+  // keys embed the version. Re-signed with this client's key, so the stamping
+  // admin must be in every reader's trusted_writers set (it is: RockFS adds
+  // the administrator for recovery re-uploads already).
+  meta.membership_epoch = epoch;
+  meta.sign(config_.writer);
+  const Bytes meta_bytes = meta.serialize();
+  const std::vector<std::string> meta_keys(n(), metadata_key(unit));
+  const std::vector<BytesView> meta_views(n(), BytesView(meta_bytes));
+  auto put = quorum_put(tokens, meta_keys, meta_views, "stamp");
+  total_delay += put.delay;
+  span.charge_child(static_cast<std::uint64_t>(put.delay));
+  span.set_duration(static_cast<std::uint64_t>(total_delay));
+  if (put.acks < n() - f()) {
+    span.set_outcome(ErrorCode::kUnavailable);
+    return {Status{ErrorCode::kUnavailable,
+                   "depsky stamp: metadata quorum unavailable (" + put.failure_detail +
+                       ")"},
+            total_delay};
+  }
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (put.acked[i]) {
+      witness_->record_meta(unit, config_.clouds[i]->name(), meta.version,
+                            config_.session);
+    }
+  }
+  return {Status::Ok(), total_delay};
 }
 
 std::size_t DepSkyClient::encoded_blob_size(std::size_t data_size) const {

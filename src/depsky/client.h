@@ -61,6 +61,18 @@ struct DepSkyConfig {
   /// amount. Must honor the cancel token (return early once cancelled) so
   /// kFirstQuorum joins can interrupt stragglers.
   std::function<void(sim::SimClock::Micros, const common::CancelToken&)> emulate_latency;
+  /// Shared freshness witness (metadata.h). Every client of one deployment
+  /// should share one instance so a cloud contradicting what it told another
+  /// session is caught (equivocation); null means a private witness.
+  VersionWitnessPtr witness;
+  /// Session identifier recorded with witness marks. A cloud serving below a
+  /// mark this same session witnessed is rolling back; below another
+  /// session's mark, it is equivocating.
+  std::string session = "local";
+  /// Cloud-set membership epoch this client believes current
+  /// (depsky/reconfig.h). Writes fail closed (kFenced) when a unit's head
+  /// metadata carries a newer epoch — the client's cloud set is stale.
+  std::uint64_t membership_epoch = 0;
 };
 
 class DepSkyClient {
@@ -104,6 +116,24 @@ class DepSkyClient {
   sim::Timed<Status> remove(const std::vector<cloud::AccessToken>& tokens,
                             const std::string& unit);
 
+  // ---- freshness / membership ----
+
+  /// The freshness witness this client records into and checks against.
+  VersionWitness& witness() noexcept { return *witness_; }
+  std::uint64_t membership_epoch() const noexcept { return config_.membership_epoch; }
+  /// Adopts a newer cloud-set membership epoch (after a reconfiguration this
+  /// client has learned about); never lowers the current one.
+  void set_membership_epoch(std::uint64_t epoch) noexcept {
+    if (epoch > config_.membership_epoch) config_.membership_epoch = epoch;
+  }
+  /// Re-signs and re-publishes `unit`'s current metadata carrying `epoch`
+  /// (same version number, this client's signature — the migration pipeline
+  /// runs it with the admin's writer key). Idempotent: a unit already at
+  /// `epoch` or newer is left untouched, so a crashed migration can re-run.
+  sim::Timed<Status> stamp_membership_epoch(const std::vector<cloud::AccessToken>& tokens,
+                                            const std::string& unit,
+                                            std::uint64_t epoch);
+
   /// Proactive redundancy repair: verifies every share of `unit` against the
   /// metadata digests and re-creates missing or corrupt ones from the valid
   /// k. In the append-only log namespace, *lost* shares can be re-created
@@ -127,9 +157,16 @@ class DepSkyClient {
   struct ShareInventory {
     std::uint64_t version = 0;
     std::size_t meta_replicas = 0;     // clouds holding valid current metadata
+    /// Clouds holding valid-signed metadata of an OLD version: stale-but-
+    /// authentic replicas (what a rolled-back cloud serves). They never count
+    /// toward meta_replicas.
+    std::size_t meta_stale = 0;
     std::vector<bool> share_valid;     // hot object matching the meta digest
     std::vector<bool> share_present;   // some hot object exists (maybe corrupt)
     std::vector<bool> share_archived;  // share moved to cold storage
+    /// Current-version share gone but the previous version's share still
+    /// held: the cloud is serving stale data, not missing data.
+    std::vector<bool> share_stale;
     /// Surviving shares: digest-valid hot plus archived (cold objects are
     /// immutable once moved, so they count as redundancy).
     std::size_t valid_count() const;
@@ -209,6 +246,7 @@ class DepSkyClient {
     std::size_t acks = 0;
     sim::SimClock::Micros delay = 0;  // completion of the quorum (or of all tries)
     std::string failure_detail;       // "cloud-1=timeout, cloud-2=unavailable"
+    std::vector<bool> acked;          // per cloud index (feeds the witness)
   };
   /// `phase` labels the quorum span and selects the per-cloud byte
   /// accounting: the "data" phase records depsky.put.data.{bytes,acks}.
@@ -217,6 +255,11 @@ class DepSkyClient {
                              const std::vector<BytesView>& blobs, const char* phase);
 
   void record_outcome(std::size_t cloud, const RetryOutcome& outcome, ErrorCode final);
+
+  /// Books one proven misbehavior incident against cloud i's ledger and
+  /// alarms through metrics + a span (the quarantine decision lives in the
+  /// HealthTracker).
+  void flag_misbehavior(std::size_t cloud, MisbehaviorKind kind, const std::string& unit);
 
   /// Registry handles resolved once at construction (hot-path friendly).
   struct ObsHandles {
@@ -230,6 +273,7 @@ class DepSkyClient {
   };
 
   DepSkyConfig config_;
+  VersionWitnessPtr witness_;
   crypto::Drbg drbg_;
   // unique_ptr: HealthTracker owns a mutex and cannot live in a resizable
   // vector by value.

@@ -4,15 +4,49 @@
 
 namespace rockfs::depsky {
 
+const char* misbehavior_kind_name(MisbehaviorKind k) {
+  switch (k) {
+    case MisbehaviorKind::kRollback: return "rollback";
+    case MisbehaviorKind::kEquivocation: return "equivocation";
+    case MisbehaviorKind::kWithheldShare: return "withheld_share";
+  }
+  return "unknown";
+}
+
 HealthTracker::HealthTracker(sim::SimClockPtr clock, HealthOptions options,
                              std::string label)
     : clock_(std::move(clock)),
       options_(options),
       opened_counter_(
-          &obs::metrics().counter(obs::metric_key("depsky.breaker.opened", label))) {
+          &obs::metrics().counter(obs::metric_key("depsky.breaker.opened", label))),
+      misbehavior_counter_(
+          &obs::metrics().counter(obs::metric_key("depsky.misbehavior", label))),
+      quarantined_counter_(
+          &obs::metrics().counter(obs::metric_key("depsky.quarantined", label))) {
   if (!clock_) throw std::invalid_argument("HealthTracker: null clock");
-  if (options_.failure_threshold < 1 || options_.half_open_successes < 1) {
+  if (options_.failure_threshold < 1 || options_.half_open_successes < 1 ||
+      options_.withheld_share_threshold < 1) {
     throw std::invalid_argument("HealthTracker: thresholds must be >= 1");
+  }
+}
+
+std::uint64_t HealthTracker::misbehavior_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : misbehavior_counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void HealthTracker::record_misbehavior(MisbehaviorKind kind) {
+  const std::uint64_t count =
+      misbehavior_counts_[static_cast<std::size_t>(kind)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  misbehavior_counter_->add();
+  const bool condemns =
+      kind != MisbehaviorKind::kWithheldShare ||
+      count >= static_cast<std::uint64_t>(options_.withheld_share_threshold);
+  if (condemns && !quarantined_.exchange(true, std::memory_order_relaxed)) {
+    quarantined_counter_->add();
   }
 }
 

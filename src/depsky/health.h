@@ -34,7 +34,34 @@ struct HealthOptions {
   int failure_threshold = 3;
   sim::SimClock::Micros open_cooldown_us = 5'000'000;  // 5 s of virtual time
   int half_open_successes = 2;
+  /// Withheld-share incidents tolerated before quarantine. Unlike rollback /
+  /// equivocation (each individually provable), a missing acked share is
+  /// indistinguishable from genuine provider-side data loss, so a single
+  /// incident must not condemn the cloud.
+  int withheld_share_threshold = 3;
 };
+
+// ------------------------------------------------------ misbehavior ledger
+//
+// The breaker above tracks *transport* health: outages and timeouts are
+// transient, so breaker-open state heals with time and open clouds are even
+// conscripted as forced probes when a quorum needs them. Malice is not
+// transient. Once a cloud is caught serving below its own witnessed version
+// mark (rollback), contradicting what it told another session
+// (equivocation), or repeatedly denying shares it acked (withholding), it is
+// *quarantined*: sticky for the lifetime of the tracker, never conscripted,
+// excluded from every quorum until the admin reconfigures the cloud set
+// (depsky/reconfig.h).
+
+/// Why a cloud was flagged by the freshness/accountability checks.
+enum class MisbehaviorKind {
+  kRollback = 0,   // served below its own witnessed mark (same session)
+  kEquivocation,   // contradicted a version witnessed by another session
+  kWithheldShare,  // acked a share upload, then claimed it never existed
+};
+inline constexpr std::size_t kMisbehaviorKinds = 3;
+
+const char* misbehavior_kind_name(MisbehaviorKind k);
 
 class HealthTracker {
  public:
@@ -48,11 +75,28 @@ class HealthTracker {
   /// Effective state at the current virtual time (open lapses into
   /// half-open once the cooldown has passed).
   State state() const;
-  /// Whether a request should be sent (closed or half-open probe).
-  bool allow_request() const { return state() != State::kOpen; }
+  /// Whether a request should be sent (closed or half-open probe). A
+  /// quarantined cloud never gets one.
+  bool allow_request() const { return !quarantined() && state() != State::kOpen; }
 
   void record_success();
   void record_failure();
+
+  // ---- misbehavior ledger (sticky quarantine) ----
+
+  /// Records one incident; quarantines immediately for provable kinds
+  /// (rollback, equivocation) and after `withheld_share_threshold` incidents
+  /// for withheld shares. Quarantine is sticky: no success, cooldown, or
+  /// probe ever lifts it.
+  void record_misbehavior(MisbehaviorKind kind);
+  bool quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misbehavior_count(MisbehaviorKind kind) const noexcept {
+    return misbehavior_counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t misbehavior_total() const noexcept;
 
   int consecutive_failures() const noexcept {
     return consecutive_failures_.load(std::memory_order_relaxed);
@@ -74,7 +118,11 @@ class HealthTracker {
   int probe_successes_ = 0;
   sim::SimClock::Micros opened_at_us_ = 0;
   std::atomic<std::uint64_t> times_opened_{0};
-  obs::Counter* opened_counter_ = nullptr;  // cached registry handle
+  std::atomic<bool> quarantined_{false};
+  std::atomic<std::uint64_t> misbehavior_counts_[kMisbehaviorKinds] = {};
+  obs::Counter* opened_counter_ = nullptr;  // cached registry handles
+  obs::Counter* misbehavior_counter_ = nullptr;
+  obs::Counter* quarantined_counter_ = nullptr;
 };
 
 }  // namespace rockfs::depsky

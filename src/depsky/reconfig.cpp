@@ -1,0 +1,174 @@
+#include "depsky/reconfig.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+
+#include "common/hex.h"
+
+namespace rockfs::depsky {
+
+namespace {
+
+constexpr const char* kMembershipTag = "rockmember";
+constexpr const char* kMigratedTag = "rockmig";
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += names[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_names(const std::string& joined) {
+  std::vector<std::string> out;
+  std::stringstream ss(joined);
+  std::string part;
+  while (std::getline(ss, part, ',')) out.push_back(part);
+  return out;
+}
+
+}  // namespace
+
+Bytes MembershipManifest::signing_payload() const {
+  Bytes out = to_bytes("depsky.membership.v1");
+  append_u64(out, epoch);
+  append_u64(out, replaced_index);
+  append_u32(out, static_cast<std::uint32_t>(old_clouds.size()));
+  for (const auto& name : old_clouds) append_lp(out, to_bytes(name));
+  append_u32(out, static_cast<std::uint32_t>(new_clouds.size()));
+  for (const auto& name : new_clouds) append_lp(out, to_bytes(name));
+  append_lp(out, admin_pub);
+  return out;
+}
+
+coord::Tuple MembershipManifest::to_tuple() const {
+  return {kMembershipTag,
+          std::to_string(epoch),
+          join_names(old_clouds),
+          join_names(new_clouds),
+          std::to_string(replaced_index),
+          hex_encode(admin_pub),
+          hex_encode(signature)};
+}
+
+Result<MembershipManifest> MembershipManifest::from_tuple(const coord::Tuple& t) {
+  if (t.size() != 7 || t[0] != kMembershipTag) {
+    return Error{ErrorCode::kCorrupted, "membership manifest: malformed tuple"};
+  }
+  MembershipManifest m;
+  try {
+    m.epoch = std::stoull(t[1]);
+    m.replaced_index = std::stoull(t[4]);
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kCorrupted, "membership manifest: malformed numeric field"};
+  }
+  m.old_clouds = split_names(t[2]);
+  m.new_clouds = split_names(t[3]);
+  if (m.old_clouds.empty() || m.old_clouds.size() != m.new_clouds.size() ||
+      m.replaced_index >= m.old_clouds.size()) {
+    return Error{ErrorCode::kCorrupted, "membership manifest: inconsistent cloud sets"};
+  }
+  Bytes pub = hex_decode(t[5]);
+  Bytes sig = hex_decode(t[6]);
+  if (pub.empty() || sig.empty()) {
+    return Error{ErrorCode::kCorrupted, "membership manifest: malformed hex field"};
+  }
+  m.admin_pub = std::move(pub);
+  m.signature = std::move(sig);
+  return m;
+}
+
+MembershipManifest make_membership_manifest(std::uint64_t epoch,
+                                            std::vector<std::string> old_clouds,
+                                            std::vector<std::string> new_clouds,
+                                            std::size_t replaced_index,
+                                            const crypto::KeyPair& admin_keys) {
+  MembershipManifest m;
+  m.epoch = epoch;
+  m.old_clouds = std::move(old_clouds);
+  m.new_clouds = std::move(new_clouds);
+  m.replaced_index = replaced_index;
+  m.admin_pub = admin_keys.public_bytes();
+  m.signature = crypto::sign(admin_keys, m.signing_payload());
+  return m;
+}
+
+bool verify_membership_manifest(const MembershipManifest& m, BytesView admin_public_key) {
+  if (m.admin_pub.size() != admin_public_key.size() ||
+      !std::equal(m.admin_pub.begin(), m.admin_pub.end(), admin_public_key.begin())) {
+    return false;
+  }
+  return crypto::verify(admin_public_key, m.signing_payload(), m.signature);
+}
+
+sim::Timed<Result<bool>> publish_membership_manifest(coord::CoordinationService& coord,
+                                                     const MembershipManifest& m) {
+  // CAS keyed on the epoch: the insert succeeds only when no manifest holds
+  // this epoch yet, so one of any set of concurrent reconfigurations wins
+  // the epoch and the rest observe false and must re-read + retry at a
+  // higher epoch.
+  auto r = coord.cas(coord::Template::of({kMembershipTag, std::to_string(m.epoch), "*",
+                                          "*", "*", "*", "*"}),
+                     m.to_tuple());
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {Result<bool>{*r.value}, r.delay};
+}
+
+sim::Timed<Result<std::vector<MembershipManifest>>> read_membership_manifests(
+    coord::CoordinationService& coord) {
+  auto r = coord.rdall(
+      coord::Template::of({kMembershipTag, "*", "*", "*", "*", "*", "*"}));
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  std::vector<MembershipManifest> out;
+  out.reserve(r.value->size());
+  for (const auto& t : *r.value) {
+    auto parsed = MembershipManifest::from_tuple(t);
+    if (!parsed.ok()) return {Error{parsed.error()}, r.delay};
+    out.push_back(std::move(*parsed));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MembershipManifest& a, const MembershipManifest& b) {
+              return a.epoch < b.epoch;
+            });
+  return {Result<std::vector<MembershipManifest>>{std::move(out)}, r.delay};
+}
+
+sim::Timed<Result<std::optional<MembershipManifest>>> current_membership(
+    coord::CoordinationService& coord, BytesView admin_public_key) {
+  auto all = read_membership_manifests(coord);
+  if (!all.value.ok()) return {Error{all.value.error()}, all.delay};
+  std::optional<MembershipManifest> best;
+  for (auto& m : *all.value) {
+    if (!verify_membership_manifest(m, admin_public_key)) {
+      return {Error{ErrorCode::kIntegrity,
+                    "membership manifest epoch " + std::to_string(m.epoch) +
+                        " does not verify under the admin key"},
+              all.delay};
+    }
+    if (!best || m.epoch > best->epoch) best = std::move(m);
+  }
+  return {Result<std::optional<MembershipManifest>>{std::move(best)}, all.delay};
+}
+
+sim::Timed<Status> mark_unit_migrated(coord::CoordinationService& coord,
+                                      std::uint64_t epoch, const std::string& unit) {
+  // Idempotent: CAS on (epoch, unit) inserts the marker once; a resumed
+  // migration re-marking an already-done unit observes false and moves on.
+  auto r = coord.cas(
+      coord::Template::of({kMigratedTag, std::to_string(epoch), unit}),
+      {kMigratedTag, std::to_string(epoch), unit});
+  if (!r.value.ok()) return {Status{r.value.error()}, r.delay};
+  return {Status::Ok(), r.delay};
+}
+
+sim::Timed<Result<bool>> unit_migrated(coord::CoordinationService& coord,
+                                       std::uint64_t epoch, const std::string& unit) {
+  auto r = coord.rdp(coord::Template::of({kMigratedTag, std::to_string(epoch), unit}));
+  if (!r.value.ok()) return {Error{r.value.error()}, r.delay};
+  return {Result<bool>{r.value->has_value()}, r.delay};
+}
+
+}  // namespace rockfs::depsky

@@ -1,0 +1,79 @@
+// Cloud-set membership reconfiguration (the operational answer to a
+// quarantined cloud). The administrator publishes a signed MembershipManifest
+// — old cloud set, new cloud set, which slot changed, and a monotonically
+// increasing membership epoch — through the coordination service's CAS, so
+// exactly one manifest wins each epoch no matter how many admins race.
+// Clients learn the current membership by reading back the highest-epoch
+// manifest that verifies under the admin key, then fail writes closed
+// (kFenced) whenever a unit's metadata carries a newer epoch than they know.
+//
+// The share-migration pipeline itself lives in rockfs/deployment
+// (reconfigure_cloud): it walks every affected unit, rebuilds the replaced
+// cloud's share onto the spare via DepSkyClient::repair, stamps the new
+// epoch into the unit metadata, and records a per-unit done-marker tuple
+// here so a crashed migration resumes exactly where it died.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "coord/service.h"
+#include "crypto/signature.h"
+#include "sim/timed.h"
+
+namespace rockfs::depsky {
+
+struct MembershipManifest {
+  std::uint64_t epoch = 0;                // 0 is the initial set; manifests start at 1
+  std::vector<std::string> old_clouds;    // provider names, slot order
+  std::vector<std::string> new_clouds;    // same length; one slot differs
+  std::size_t replaced_index = 0;         // the slot that changed
+  Bytes admin_pub;                        // signer (the deployment admin)
+  Bytes signature;
+
+  Bytes signing_payload() const;
+  coord::Tuple to_tuple() const;
+  static Result<MembershipManifest> from_tuple(const coord::Tuple& t);
+};
+
+MembershipManifest make_membership_manifest(std::uint64_t epoch,
+                                            std::vector<std::string> old_clouds,
+                                            std::vector<std::string> new_clouds,
+                                            std::size_t replaced_index,
+                                            const crypto::KeyPair& admin_keys);
+
+bool verify_membership_manifest(const MembershipManifest& m, BytesView admin_public_key);
+
+/// CAS-publish keyed on the epoch: returns true when this manifest won the
+/// epoch, false when some manifest (possibly an identical retry) already
+/// holds it.
+sim::Timed<Result<bool>> publish_membership_manifest(coord::CoordinationService& coord,
+                                                     const MembershipManifest& m);
+
+/// Every published manifest, ascending epoch. Tuples that fail to parse are
+/// an error (the space is admin-written; garbage means corruption).
+sim::Timed<Result<std::vector<MembershipManifest>>> read_membership_manifests(
+    coord::CoordinationService& coord);
+
+/// The highest-epoch manifest that verifies under `admin_public_key`;
+/// nullopt when no reconfiguration has ever been published (epoch 0, the
+/// initial cloud set, is implicit).
+sim::Timed<Result<std::optional<MembershipManifest>>> current_membership(
+    coord::CoordinationService& coord, BytesView admin_public_key);
+
+// ---- per-unit migration done-markers (crash-resumable pipeline) ----
+
+/// Durably records that `unit` has been fully migrated (share rebuilt on the
+/// new set + epoch stamped) under membership `epoch`. Idempotent.
+sim::Timed<Status> mark_unit_migrated(coord::CoordinationService& coord,
+                                      std::uint64_t epoch, const std::string& unit);
+
+/// Whether `unit` already carries a done-marker for `epoch` (resume check).
+sim::Timed<Result<bool>> unit_migrated(coord::CoordinationService& coord,
+                                       std::uint64_t epoch, const std::string& unit);
+
+}  // namespace rockfs::depsky

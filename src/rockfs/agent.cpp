@@ -35,6 +35,8 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
   drbg_ = std::make_shared<crypto::Drbg>(keystore_->user_private_key,
                                          to_bytes("rockfs.agent." + user_id_));
 
+  const std::string session_id = user_id_ + "-s" + std::to_string(++logins_);
+
   // Storage stack: DepSky over the cloud fleet, writing as PR_U.
   depsky::DepSkyConfig cfg;
   cfg.clouds = clouds_;
@@ -44,12 +46,15 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
   cfg.trusted_writers = options_.trusted_writers;
   cfg.executor = options_.executor;
   cfg.join_mode = options_.join_mode;
+  cfg.witness = options_.witness;
+  cfg.session = session_id;
+  cfg.membership_epoch = options_.membership_epoch;
   storage_ = std::make_shared<depsky::DepSkyClient>(std::move(cfg), drbg_->generate(32));
 
   scfs::ScfsOptions fs_opts;
   fs_opts.sync_mode = options_.sync_mode;
   fs_opts.user_id = user_id_;
-  fs_opts.session_id = user_id_ + "-s" + std::to_string(++logins_);
+  fs_opts.session_id = session_id;
   fs_opts.lease_ttl_us = options_.lease_ttl_us;
   fs_opts.fencing = options_.fencing;
   fs_ = std::make_unique<scfs::Scfs>(storage_, keystore_->file_tokens, coordination_,
@@ -237,6 +242,15 @@ Status RockFsAgent::unlock(const std::string& path) {
 std::optional<std::uint64_t> RockFsAgent::held_epoch(const std::string& path) const {
   if (!fs_) return std::nullopt;
   return fs_->held_epoch(path);
+}
+
+void RockFsAgent::replace_cloud(std::size_t index, cloud::CloudProviderPtr cloud) {
+  clouds_.at(index) = std::move(cloud);
+}
+
+void RockFsAgent::set_membership_epoch(std::uint64_t epoch) {
+  if (epoch > options_.membership_epoch) options_.membership_epoch = epoch;
+  if (storage_) storage_->set_membership_epoch(epoch);
 }
 
 void RockFsAgent::trust_writer(const Bytes& public_key) {

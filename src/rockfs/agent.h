@@ -52,6 +52,13 @@ struct AgentOptions {
   std::shared_ptr<common::Executor> executor;
   /// Fan-out join discipline; kBarrier keeps virtual time deterministic.
   common::JoinMode join_mode = common::JoinMode::kBarrier;
+  /// Deployment-wide freshness witness (depsky/metadata.h): every client
+  /// session records the versions each cloud acked or served, so a cloud
+  /// contradicting itself across sessions is caught. Null = private witness.
+  depsky::VersionWitnessPtr witness;
+  /// Cloud-set membership epoch this agent believes current (depsky/
+  /// reconfig.h). Writes fail closed (kFenced) against newer-epoch metadata.
+  std::uint64_t membership_epoch = 0;
 };
 
 /// Where the agent finds PVSS share-holder keys at login time. The device
@@ -107,6 +114,19 @@ class RockFsAgent {
   /// logins: required for reading files last written by another user of a
   /// shared namespace.
   void trust_writer(const Bytes& public_key);
+
+  // ---- cloud-set reconfiguration (depsky/reconfig.h) ----
+
+  /// Swaps the provider at `index` (a reconfiguration replaced a quarantined
+  /// cloud). Takes effect at the next login, which rebuilds the storage
+  /// stack over the new set.
+  void replace_cloud(std::size_t index, cloud::CloudProviderPtr cloud);
+  /// Adopts a newer membership epoch, now and for future logins; the live
+  /// storage client (if any) starts fencing against it immediately.
+  void set_membership_epoch(std::uint64_t epoch);
+  /// The live DepSky client, or null when logged out (tests inspect its
+  /// per-cloud quarantine state).
+  std::shared_ptr<depsky::DepSkyClient> storage() const noexcept { return storage_; }
 
   /// Convenience: create-or-open + overwrite content + close.
   Status write_file(const std::string& path, BytesView content);

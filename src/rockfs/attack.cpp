@@ -58,6 +58,59 @@ LogTamperReport log_tamper_attack(Deployment& deployment, const std::string& use
   return report;
 }
 
+CloudRollbackReport cloud_rollback_attack(Deployment& deployment,
+                                          const std::string& user_id,
+                                          std::size_t cloud_index,
+                                          sim::AdversarialMode mode, std::size_t rounds) {
+  CloudRollbackReport report;
+  report.cloud_index = cloud_index;
+  report.mode = mode;
+  auto& victim = deployment.agent(user_id);
+  auto& cloud = *deployment.clouds().at(cloud_index);
+
+  // The cloud freezes its served view NOW: everything written from here on
+  // is acked and stored but never shown (or shown only to one session group).
+  // Replay-window serving lags the live view by a fixed interval instead.
+  cloud.faults().set_adversarial(
+      mode, mode == sim::AdversarialMode::kReplayWindow ? 2'000'000 : 0);
+
+  std::size_t ops = 0;
+  auto note_detection = [&] {
+    if (report.quarantined) return;
+    const auto storage = victim.storage();
+    if (!storage) return;
+    const auto& health = storage->cloud_health(cloud_index);
+    if (!report.detected && health.misbehavior_total() > 0) {
+      report.detected = true;
+      report.ops_to_detection = ops;
+    }
+    if (health.quarantined()) {
+      report.quarantined = true;
+      report.ops_to_detection = ops;
+    }
+  };
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::string path = "/" + user_id + "/rolled-" + std::to_string(r % 2);
+    const Bytes content = to_bytes("fresh." + user_id + ".round" + std::to_string(r));
+    if (victim.write_file(path, content).ok()) ++report.writes_during_attack;
+    ++ops;
+    note_detection();
+
+    victim.fs().clear_cache();  // force the read through DepSky, not the cache
+    auto back = victim.read_file(path);
+    ++ops;
+    ++report.reads_during_attack;
+    if (!back.ok() || *back != content) ++report.read_mismatches;
+    note_detection();
+  }
+
+  if (const auto storage = victim.storage()) {
+    report.misbehavior_flags = storage->cloud_health(cloud_index).misbehavior_total();
+  }
+  return report;
+}
+
 StolenCredentialReport& StolenCredentialReport::operator+=(const StolenCredentialReport& o) {
   write_attempts += o.write_attempts;
   writes_accepted_pre_floor += o.writes_accepted_pre_floor;

@@ -1,5 +1,6 @@
 #include "rockfs/deployment.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 #include <algorithm>
@@ -20,10 +21,14 @@ Deployment::Deployment(DeploymentOptions options)
                                                                  options_.seed ^ 0xC0C0)),
       setup_drbg_(to_bytes("rockfs.deployment"), to_bytes(std::to_string(options_.seed))),
       admin_keys_(crypto::generate_keypair(setup_drbg_)),
-      crash_(std::make_shared<sim::CrashSchedule>()) {
+      crash_(std::make_shared<sim::CrashSchedule>()),
+      witness_(std::make_shared<depsky::VersionWitness>()),
+      next_spare_(clouds_.size()) {
   if (options_.agent.f != options_.f) options_.agent.f = options_.f;
   // Every agent added later (and the admin storage/scrubber) shares the pool.
   if (executor_ && !options_.agent.executor) options_.agent.executor = executor_;
+  // ... and the freshness witness, so cross-session equivocation is caught.
+  if (!options_.agent.witness) options_.agent.witness = witness_;
   // Spans across this deployment's stack stamp their start times from the
   // deployment's virtual clock.
   obs::tracer().bind_clock(clock_);
@@ -170,6 +175,9 @@ std::shared_ptr<depsky::DepSkyClient> Deployment::make_admin_storage() {
         crypto::point_encode(other_secrets.user_public_key));
   }
   storage_cfg.executor = executor_;
+  storage_cfg.witness = witness_;
+  storage_cfg.session = "admin";
+  storage_cfg.membership_epoch = membership_epoch_;
   return std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
                                                 setup_drbg_.generate(32));
 }
@@ -477,10 +485,245 @@ LogScrubber Deployment::make_scrubber(const std::string& user_id, ScrubOptions o
   // admin chain: trust both signers.
   storage_cfg.trusted_writers.push_back(crypto::point_encode(us.user_public_key));
   storage_cfg.executor = executor_;
+  storage_cfg.witness = witness_;
+  storage_cfg.session = "scrub";
+  storage_cfg.membership_epoch = membership_epoch_;
   auto storage = std::make_shared<depsky::DepSkyClient>(std::move(storage_cfg),
                                                         setup_drbg_.generate(32));
   return LogScrubber(user_id, std::move(storage), admin_tokens(), coordination_, clock_,
                      options);
+}
+
+std::size_t Deployment::quarantined_cloud() const {
+  for (const auto& [user_id, agent] : agents_) {
+    (void)user_id;
+    const auto storage = agent->storage();
+    if (!storage) continue;
+    for (std::size_t i = 0; i < storage->n(); ++i) {
+      if (storage->cloud_health(i).quarantined()) return i;
+    }
+  }
+  return kNoCloud;
+}
+
+cloud::CloudProviderPtr Deployment::make_spare_cloud() {
+  const std::size_t idx = next_spare_++;
+  auto profile = sim::LinkProfile::s3_like("cloud-" + std::to_string(idx));
+  // Same heterogeneity formula as make_provider_fleet, continued past the
+  // initial fleet, so a reconfigured deployment stays in-family.
+  profile.rtt_us += static_cast<std::int64_t>(idx) * 2'000;
+  profile.up_bytes_per_sec *= 1.0 + 0.07 * static_cast<double>(idx);
+  return std::make_shared<cloud::CloudProvider>(profile.name, clock_, profile,
+                                                options_.seed + 1000 * idx);
+}
+
+Status Deployment::adopt_spare_tokens(std::size_t slot,
+                                      const cloud::CloudProviderPtr& spare) {
+  const auto spare_admin =
+      spare->issue_token("admin", options_.fs_id, cloud::TokenScope::kAdmin);
+  for (auto& [user_id, us] : secrets_) {
+    // The spare enforces the user's current revocation floor from its first
+    // moment (fail-closed: a pre-rotation token stolen earlier is dead here
+    // too), and the fresh tokens are minted at an epoch that survives it.
+    if (us.token_epoch > 0) {
+      auto floored = spare->apply_revocation_floor(spare_admin, user_id, us.token_epoch);
+      clock_->advance_us(floored.delay);
+      if (!floored.value.ok()) return Status{floored.value.error()};
+    }
+    auto ks = unseal_keystore(us.sealed, {us.coordination_holder, us.external_holder},
+                              us.holder_pubs, /*k=*/2, setup_drbg_);
+    if (!ks.ok()) return Status{ks.error()};
+    ks->file_tokens[slot] =
+        spare->issue_token(user_id, options_.fs_id, cloud::TokenScope::kFiles);
+    ks->log_tokens[slot] =
+        spare->issue_token(user_id, options_.fs_id, cloud::TokenScope::kLogAppend);
+    us.sealed = seal_keystore(*ks, {us.device_holder, us.coordination_holder,
+                                    us.external_holder},
+                              /*k=*/2, setup_drbg_, /*password=*/{}, executor_.get());
+    auto stored = coordination_->replace(
+        coord::Template::of({"rockks", user_id, "*", "*"}),
+        {"rockks", user_id, std::to_string(us.keystore_epoch),
+         base64_encode(us.sealed.serialize())});
+    clock_->advance_us(stored.delay);
+    if (!stored.value.ok()) return Status{stored.value.error()};
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Deployment::enumerate_units(std::size_t skip_index) {
+  // The scrubber's orphan-walk idiom over the whole key space: every
+  // logs/<chain>/e<seq> or files<path> key collapses to its unit name.
+  std::set<std::string> units;
+  const auto admin = admin_tokens();
+  for (std::size_t i = 0; i < clouds_.size(); ++i) {
+    if (i == skip_index) continue;
+    auto listed = clouds_[i]->list(admin[i], "");
+    clock_->advance_us(listed.delay);
+    if (!listed.value.ok()) continue;  // an unreachable cloud cannot widen the union
+    for (const auto& obj : *listed.value) {
+      std::string unit = obj.key;
+      if (const auto meta = unit.rfind(".meta");
+          meta != std::string::npos && meta + 5 == unit.size()) {
+        unit.resize(meta);
+      } else if (const auto ver = unit.rfind(".v"); ver != std::string::npos) {
+        unit.resize(ver);
+      } else {
+        continue;  // not a unit-structured key
+      }
+      units.insert(std::move(unit));
+    }
+  }
+  return {units.begin(), units.end()};
+}
+
+Result<Deployment::ReconfigurationReport> Deployment::reconfigure_cloud(
+    std::size_t replaced_index) {
+  if (replaced_index >= clouds_.size()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "reconfigure_cloud: no cloud at index " + std::to_string(replaced_index)};
+  }
+  ReconfigurationReport out;
+  const auto t0 = clock_->now_us();
+  obs::Span span = obs::tracer().span("reconfig");
+  try {
+    // 1. Stage the manifest and the spare (durably, on the admin's disk) so
+    //    a crashed pipeline resumes the same epoch instead of re-minting.
+    if (!pending_reconfig_.active) {
+      auto spare = make_spare_cloud();
+      std::vector<std::string> old_names;
+      old_names.reserve(clouds_.size());
+      for (const auto& c : clouds_) old_names.push_back(c->name());
+      std::vector<std::string> new_names = old_names;
+      new_names[replaced_index] = spare->name();
+      auto published = depsky::read_membership_manifests(*coordination_);
+      clock_->advance_us(published.delay);
+      if (!published.value.ok()) return Error{published.value.error()};
+      std::uint64_t epoch = membership_epoch_ + 1;
+      for (const auto& m : *published.value) epoch = std::max(epoch, m.epoch + 1);
+      pending_reconfig_.manifest = depsky::make_membership_manifest(
+          epoch, std::move(old_names), std::move(new_names), replaced_index, admin_keys_);
+      pending_reconfig_.spare = std::move(spare);
+      pending_reconfig_.active = true;
+    }
+    if (pending_reconfig_.manifest.replaced_index != replaced_index) {
+      return Error{ErrorCode::kConflict,
+                   "reconfigure_cloud: a reconfiguration of another slot is in flight"};
+    }
+
+    // 2. Publish via CAS: one winner per epoch. Losing to our own manifest
+    //    (a resumed pipeline) is a win; losing to a different one bumps the
+    //    epoch and retries.
+    for (int attempt = 0;; ++attempt) {
+      auto won = depsky::publish_membership_manifest(*coordination_,
+                                                     pending_reconfig_.manifest);
+      clock_->advance_us(won.delay);
+      if (!won.value.ok()) return Error{won.value.error()};
+      if (*won.value) break;
+      auto again = depsky::read_membership_manifests(*coordination_);
+      clock_->advance_us(again.delay);
+      if (!again.value.ok()) return Error{again.value.error()};
+      bool ours = false;
+      std::uint64_t next = pending_reconfig_.manifest.epoch + 1;
+      for (const auto& m : *again.value) {
+        if (m.epoch == pending_reconfig_.manifest.epoch &&
+            m.signature == pending_reconfig_.manifest.signature) {
+          ours = true;
+        }
+        next = std::max(next, m.epoch + 1);
+      }
+      if (ours) break;
+      if (attempt >= 8) {
+        return Error{ErrorCode::kConflict,
+                     "reconfigure_cloud: could not win a membership epoch"};
+      }
+      pending_reconfig_.manifest = depsky::make_membership_manifest(
+          next, pending_reconfig_.manifest.old_clouds, pending_reconfig_.manifest.new_clouds,
+          replaced_index, admin_keys_);
+    }
+    const std::uint64_t epoch = pending_reconfig_.manifest.epoch;
+    out.epoch = epoch;
+    out.replaced_index = replaced_index;
+    out.old_cloud = pending_reconfig_.manifest.old_clouds[replaced_index];
+    out.new_cloud = pending_reconfig_.manifest.new_clouds[replaced_index];
+    if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterMembershipManifest);
+
+    // 3. Mint every user's tokens at the spare, reseal their keystores, and
+    //    swap the fleet slot. Skipped when a resumed pipeline already did it.
+    if (clouds_[replaced_index]->name() != out.new_cloud) {
+      if (auto st = adopt_spare_tokens(replaced_index, pending_reconfig_.spare); !st.ok()) {
+        return Error{st.error()};
+      }
+      clouds_[replaced_index] = pending_reconfig_.spare;
+      for (auto& [user_id, agent] : agents_) {
+        (void)user_id;
+        agent->replace_cloud(replaced_index, pending_reconfig_.spare);
+      }
+    }
+
+    // 4. Migrate every unit onto the new set: DepSky repair rebuilds the
+    //    evicted cloud's share on the (empty) spare, file units get the new
+    //    epoch stamped into their metadata, and a per-unit done-marker makes
+    //    the walk crash-resumable. Both repair and stamp are idempotent, so
+    //    a unit interrupted between steps converges on the re-run.
+    auto storage = make_admin_storage();
+    const auto admin = admin_tokens();
+    const auto units = enumerate_units(replaced_index);
+    out.units_total = units.size();
+    bool first_migration = true;
+    for (const auto& unit : units) {
+      auto done = depsky::unit_migrated(*coordination_, epoch, unit);
+      clock_->advance_us(done.delay);
+      if (!done.value.ok()) return Error{done.value.error()};
+      if (*done.value) {
+        ++out.units_resumed;
+        continue;
+      }
+      auto fixed = storage->repair(admin, unit);
+      clock_->advance_us(fixed.delay);
+      if (!fixed.value.ok()) return Error{fixed.value.error()};
+      out.shares_rebuilt += fixed.value->shares_repaired;
+      if (!unit.starts_with(cloud::kLogPrefix)) {
+        // Log units are append-only (their metadata cannot be overwritten,
+        // by design); the epoch fence protects the mutable file namespace.
+        auto stamped = storage->stamp_membership_epoch(admin, unit, epoch);
+        clock_->advance_us(stamped.delay);
+        if (!stamped.value.ok()) return Error{stamped.value.error()};
+        ++out.metas_stamped;
+      }
+      auto marked = depsky::mark_unit_migrated(*coordination_, epoch, unit);
+      clock_->advance_us(marked.delay);
+      if (!marked.value.ok()) return Error{marked.value.error()};
+      ++out.units_migrated;
+      if (first_migration) {
+        first_migration = false;
+        if (crash_) crash_->maybe_crash(sim::CrashPoint::kMidShareMigration);
+      }
+    }
+
+    // 5. Adopt the epoch everywhere and bring every agent back up over the
+    //    new fleet (their next writes carry — and fence on — the new epoch).
+    membership_epoch_ = epoch;
+    options_.agent.membership_epoch = std::max(options_.agent.membership_epoch, epoch);
+    for (auto& [user_id, agent] : agents_) {
+      agent->set_membership_epoch(epoch);
+      if (agent->logged_in()) agent->logout();
+      auto st = login_default(user_id);
+      if (!st.ok()) st = login_with_external(user_id);
+      if (!st.ok()) return Error{st.error()};
+    }
+    pending_reconfig_ = {};
+    out.duration_us = static_cast<sim::SimClock::Micros>(clock_->now_us() - t0);
+    auto& reg = obs::metrics();
+    reg.counter("reconfig.completed").add();
+    reg.counter("reconfig.units.migrated").add(out.units_migrated);
+    reg.counter("reconfig.shares.rebuilt").add(out.shares_rebuilt);
+    span.set_duration(static_cast<std::uint64_t>(out.duration_us));
+    return out;
+  } catch (const sim::ClientCrash& crash) {
+    span.set_outcome(ErrorCode::kCrashed);
+    return Error{ErrorCode::kCrashed, std::string("reconfiguration crashed at ") +
+                                          sim::crash_point_name(crash.point)};
+  }
 }
 
 }  // namespace rockfs::core

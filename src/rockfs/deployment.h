@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "depsky/reconfig.h"
 #include "rockfs/agent.h"
 #include "rockfs/recovery.h"
 #include "rockfs/scrub.h"
@@ -169,10 +170,69 @@ class Deployment {
   /// Public half of the admin keypair (verifies rotation manifests).
   Bytes admin_public_key() const;
 
+  // ---- malicious-cloud resilience (depsky/reconfig.h) ----
+
+  /// Deployment-wide freshness witness: every client session (agents, admin
+  /// storage, scrubbers) records into and checks against the same instance,
+  /// so a cloud that answers one session below what it told another is
+  /// caught as equivocating.
+  const depsky::VersionWitnessPtr& witness() const noexcept { return witness_; }
+
+  /// Cloud-set membership epoch currently in force (0 = the initial fleet).
+  std::uint64_t membership_epoch() const noexcept { return membership_epoch_; }
+
+  /// The cloud slot some client session has quarantined for proven
+  /// misbehavior, or npos when every cloud is still in good standing.
+  /// (Quarantine is per-client; any client's verdict is grounds to
+  /// reconfigure, since it is backed by a provable contradiction.)
+  static constexpr std::size_t kNoCloud = static_cast<std::size_t>(-1);
+  std::size_t quarantined_cloud() const;
+
+  /// What one reconfigure_cloud invocation accomplished.
+  struct ReconfigurationReport {
+    std::uint64_t epoch = 0;            // membership epoch now in force
+    std::size_t replaced_index = 0;
+    std::string old_cloud;              // provider name evicted
+    std::string new_cloud;              // spare provider name
+    std::size_t units_total = 0;        // units found on the retained clouds
+    std::size_t units_migrated = 0;     // migrated by THIS invocation
+    std::size_t units_resumed = 0;      // already done-marked (crash resume)
+    std::size_t shares_rebuilt = 0;     // shares re-created on the new set
+    std::size_t metas_stamped = 0;      // file units re-signed at the epoch
+    sim::SimClock::Micros duration_us = 0;
+  };
+
+  /// Replaces the cloud at `replaced_index` with a freshly provisioned spare:
+  /// publishes an admin-signed MembershipManifest (CAS, one winner per
+  /// epoch), mints tokens for every user at the spare and reseals their
+  /// keystores, swaps the fleet slot, then migrates every unit found on the
+  /// retained clouds — DepSky repair rebuilds the replaced cloud's share on
+  /// the spare, file units get the new epoch stamped into their metadata —
+  /// recording a per-unit done-marker so a crashed migration resumes where
+  /// it died. Finishes by re-logging every agent in at the new epoch.
+  ///
+  /// Crash-resumable like respond_to_compromise: kAfterMembershipManifest
+  /// and kMidShareMigration fire here; re-invoking after kCrashed converges
+  /// without double-applying.
+  Result<ReconfigurationReport> reconfigure_cloud(std::size_t replaced_index);
+
  private:
   /// DepSky client writing as the admin and trusting every user's signer
   /// (shared by the recovery service and the rotation pipeline).
   std::shared_ptr<depsky::DepSkyClient> make_admin_storage();
+
+  /// Provisions a fresh provider ("cloud-4", "cloud-5", ...) with the same
+  /// S3-like heterogeneity formula as the initial fleet.
+  cloud::CloudProviderPtr make_spare_cloud();
+
+  /// Mints tokens for every user at the spare and reseals their keystores
+  /// with the slot's tokens replaced (same holders, same keystore epoch).
+  Status adopt_spare_tokens(std::size_t slot, const cloud::CloudProviderPtr& spare);
+
+  /// Every unit name present on the retained clouds (union of listings,
+  /// `<unit>.meta` / `<unit>.v<V>.s<I>` keys collapsed) — the scrubber's
+  /// orphan-walk idiom widened to the whole namespace.
+  std::vector<std::string> enumerate_units(std::size_t skip_index);
 
   DeploymentOptions options_;
   sim::SimClockPtr clock_;
@@ -187,6 +247,19 @@ class Deployment {
   sim::CrashSchedulePtr crash_;
   std::map<std::string, std::unique_ptr<RockFsAgent>> agents_;
   std::map<std::string, UserSecrets> secrets_;
+
+  // ---- malicious-cloud resilience state ----
+  depsky::VersionWitnessPtr witness_;
+  std::uint64_t membership_epoch_ = 0;
+  std::size_t next_spare_ = 0;  // suffix of the next spare provider name
+  /// In-flight reconfiguration, staged before the manifest CAS so a crashed
+  /// pipeline resumes the same epoch/spare instead of minting fresh ones.
+  struct PendingReconfiguration {
+    bool active = false;
+    depsky::MembershipManifest manifest;
+    cloud::CloudProviderPtr spare;
+  };
+  PendingReconfiguration pending_reconfig_;
 };
 
 }  // namespace rockfs::core

@@ -49,6 +49,21 @@ sim::Timed<Status> LogScrubber::scrub_chain(const std::string& chain,
                                    << " unreadable: " << inv.value.error().message);
       continue;
     }
+    // Stale-version state is its own category: a rolled-back cloud holds
+    // authentic bytes of an OLD version, which is not the same failure as a
+    // lost or corrupt share (and is exactly what a freshness attack leaves
+    // behind). It still counts as degradation — the current version is
+    // missing there — but it is reported and alarmed separately.
+    std::size_t stale_here = 0;
+    for (std::size_t s = 0; s < inv.value->share_stale.size(); ++s) {
+      if (inv.value->share_stale[s]) ++stale_here;
+    }
+    if (stale_here > 0 || inv.value->meta_stale > 0) {
+      ++report.entries_stale;
+      report.stale_shares += stale_here;
+      report.stale_metas += inv.value->meta_stale;
+      reg.counter("scrub.shares.stale").add(stale_here + inv.value->meta_stale);
+    }
     const bool degraded = inv.value->valid_count() < threshold ||
                           inv.value->meta_replicas < meta_quorum;
     if (!degraded) continue;

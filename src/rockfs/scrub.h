@@ -49,6 +49,13 @@ struct ScrubReport {
   std::size_t entries_unrepairable = 0;
   std::size_t shares_repaired = 0;
   std::size_t meta_repaired = 0;       // metadata replicas re-seeded
+  /// Entries where some cloud held *stale-version* state — authentic data of
+  /// an old version where the current one belongs (what a rolled-back cloud
+  /// leaves behind). Distinct from plain loss/corruption: the bytes verify,
+  /// only the version is wrong.
+  std::size_t entries_stale = 0;
+  std::size_t stale_shares = 0;        // share slots found serving an old version
+  std::size_t stale_metas = 0;         // metadata replicas valid-signed but old
   /// Log data units present in the cloud with no committed record and no
   /// pending intent (garbage from crashed appends; append-only, so they can
   /// only be reported, never collected).

@@ -22,6 +22,40 @@ void FaultSchedule::clear() {
   tail_latency_prob_ = read_corruption_prob_ = partial_write_prob_ = 0.0;
   tail_latency_factor_ = 1.0;
   down_ = byzantine_ = false;
+  adversarial_ = AdversarialSpec{};
+}
+
+const char* adversarial_mode_name(AdversarialMode m) {
+  switch (m) {
+    case AdversarialMode::kNone: return "none";
+    case AdversarialMode::kRollback: return "rollback";
+    case AdversarialMode::kEquivocate: return "equivocate";
+    case AdversarialMode::kWithholdShares: return "withhold_shares";
+    case AdversarialMode::kReplayWindow: return "replay_window";
+  }
+  return "unknown";
+}
+
+bool adversarial_stale_group(const std::string& user_id, std::uint64_t salt) {
+  // FNV-1a (not std::hash: the split must be identical on every machine and
+  // standard library).
+  std::uint64_t h = 14695981039346656037ULL ^ salt;
+  for (unsigned char c : user_id) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // Fold the high bits down so the salt actually influences the decision bit.
+  h ^= h >> 33;
+  return (h & 1) != 0;
+}
+
+void FaultSchedule::set_adversarial(AdversarialMode mode,
+                                    SimClock::Micros window_us,
+                                    std::uint64_t partition_salt) {
+  adversarial_.mode = mode;
+  adversarial_.freeze_us = clock_->now_us();
+  adversarial_.window_us = window_us;
+  adversarial_.partition_salt = partition_salt;
 }
 
 bool FaultSchedule::in_outage(SimClock::Micros now_us) const {
@@ -87,6 +121,8 @@ const char* crash_point_name(CrashPoint p) {
     case CrashPoint::kMidFloorPropagation: return "mid_floor_propagation";
     case CrashPoint::kAfterRotationRecord: return "after_rotation_record";
     case CrashPoint::kAfterKeystoreReseal: return "after_keystore_reseal";
+    case CrashPoint::kAfterMembershipManifest: return "after_membership_manifest";
+    case CrashPoint::kMidShareMigration: return "mid_share_migration";
   }
   return "unknown";
 }

@@ -46,6 +46,49 @@ struct OutageWindow {
   SimClock::Micros end_us = 0;
 };
 
+// ---------------------------------------------------- adversarial serving
+//
+// Crash/omission faults above make a cloud *unavailable*; adversarial modes
+// make it *lie* while staying perfectly available. The provider keeps every
+// response well-formed and correctly signed (signatures travel with the
+// stored bytes), which is exactly what makes these attacks invisible to the
+// digest checks and detectable only by freshness/accountability machinery
+// (depsky version witness + misbehavior quarantine).
+//
+// The spec is pure configuration: consulting it draws NOTHING from the
+// schedule's RNG stream, so arming an adversary never perturbs the fault
+// trace of the probabilistic knobs.
+
+enum class AdversarialMode {
+  kNone = 0,
+  /// Serve every reader the view frozen at arming time: the highest version
+  /// whose write completed before the freeze, signatures intact. Writes are
+  /// still acked (and recorded) — they just never become visible.
+  kRollback,
+  /// Partition readers by authenticated identity: one group sees the fresh
+  /// view, the other the frozen one. Both views are valid and signed —
+  /// divergence across sessions is the only evidence.
+  kEquivocate,
+  /// Metadata served honestly; data-share objects answer kNotFound.
+  kWithholdShares,
+  /// Serve the view as of (now - window_us): a sliding rollback that lags
+  /// the truth by a fixed interval instead of freezing outright.
+  kReplayWindow,
+};
+
+const char* adversarial_mode_name(AdversarialMode m);
+
+struct AdversarialSpec {
+  AdversarialMode mode = AdversarialMode::kNone;
+  SimClock::Micros freeze_us = 0;      // rollback/equivocate cutoff (arming time)
+  SimClock::Micros window_us = 0;      // replay lag (kReplayWindow only)
+  std::uint64_t partition_salt = 0;    // equivocation group assignment
+};
+
+/// Which side of an equivocation partition `user_id` lands on (true = the
+/// stale/frozen view). FNV-1a, so provider and tests agree on any machine.
+bool adversarial_stale_group(const std::string& user_id, std::uint64_t salt);
+
 class FaultSchedule {
  public:
   FaultSchedule(SimClockPtr clock, std::uint64_t seed);
@@ -75,6 +118,21 @@ class FaultSchedule {
   /// Probability that a write stores a truncated prefix and reports failure
   /// (a connection dropped mid-upload).
   void set_partial_write_prob(double p) noexcept { partial_write_prob_ = p; }
+
+  // ---- adversarial serving (no RNG draws; pure configuration) ----
+
+  /// Turns the component malicious from the current virtual instant on.
+  /// kRollback / kEquivocate freeze the cutoff at now; kReplayWindow serves
+  /// a view lagging by `window_us`. `partition_salt` seeds the equivocation
+  /// group split.
+  void set_adversarial(AdversarialMode mode, SimClock::Micros window_us = 0,
+                       std::uint64_t partition_salt = 0);
+  void clear_adversarial() noexcept { adversarial_ = AdversarialSpec{}; }
+  const AdversarialSpec& adversarial() const noexcept { return adversarial_; }
+  bool adversarial_active() const noexcept {
+    return adversarial_.mode != AdversarialMode::kNone;
+  }
+
   /// Forgets every knob and outage window (permanent entries included).
   void clear();
 
@@ -99,6 +157,7 @@ class FaultSchedule {
   double partial_write_prob_ = 0.0;
   bool down_ = false;
   bool byzantine_ = false;
+  AdversarialSpec adversarial_;
   std::uint64_t decisions_ = 0;
 };
 
@@ -132,8 +191,13 @@ enum class CrashPoint {
   kMidFloorPropagation,    // some clouds enforce the floor, others do not
   kAfterRotationRecord,    // rotate record in the chain; keystore still old
   kAfterKeystoreReseal,    // fresh deal published; session key not re-registered
+  // Cloud-set reconfiguration pipeline (quarantine -> spare migration). The
+  // admin dies between durable steps; the resumed pipeline must converge to
+  // bit-identical unit contents on the new cloud set.
+  kAfterMembershipManifest,  // new membership CAS-published; no share migrated
+  kMidShareMigration,        // some units migrated + stamped, others not
 };
-inline constexpr std::size_t kCrashPointCount = 10;
+inline constexpr std::size_t kCrashPointCount = 12;
 /// The close / append / recovery prefix of the enum. The generic crash soak
 /// (crash_test, bench_crash_resilience) arms each of these against the
 /// standard close workload; the rotation points only fire inside the
