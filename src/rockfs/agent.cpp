@@ -51,12 +51,23 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
   cfg.membership_epoch = options_.membership_epoch;
   storage_ = std::make_shared<depsky::DepSkyClient>(std::move(cfg), drbg_->generate(32));
 
+  if (options_.enable_cache && !cache_) {
+    // First login mints the per-USER cache; later sessions reuse the handle
+    // so sealed entries survive re-logins (a rotated key just makes the
+    // stale ones fail open on hit).
+    cache_ = options_.cache ? options_.cache
+                            : std::make_shared<cache::ClientCache>(options_.cache_config);
+  }
+
   scfs::ScfsOptions fs_opts;
   fs_opts.sync_mode = options_.sync_mode;
   fs_opts.user_id = user_id_;
   fs_opts.session_id = session_id;
   fs_opts.lease_ttl_us = options_.lease_ttl_us;
   fs_opts.fencing = options_.fencing;
+  fs_opts.use_cache = options_.enable_cache;
+  fs_opts.cache = cache_;
+  fs_opts.writeback = options_.writeback;
   fs_ = std::make_unique<scfs::Scfs>(storage_, keystore_->file_tokens, coordination_,
                                      clock_, fs_opts);
 
@@ -69,7 +80,15 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
       // sealed under the stale one fails open and is refetched (§4.2.1).
       session_keys_->seed(keystore_->session_key, keystore_->session_key_expiry_us);
     }
-    fs_->set_cache_transform(std::make_shared<SecureCacheTransform>(session_keys_, drbg_));
+    // A rotation must leave zero servable cache state: sealed data entries
+    // would fail open anyway, but meta/negative entries carry no seal.
+    session_keys_->set_rotation_hook([this] {
+      if (cache_) cache_->drop_all();
+    });
+    // drop_entries=false: entries sealed under a still-valid S_U (from the
+    // previous session of this user) stay warm across the re-login.
+    fs_->set_cache_transform(std::make_shared<SecureCacheTransform>(session_keys_, drbg_),
+                             /*drop_entries=*/false);
   }
 
   fs_->set_crash_schedule(options_.crash);
@@ -104,6 +123,17 @@ Status RockFsAgent::login(const SealedKeystore& sealed, const LoginMaterial& mat
 }
 
 void RockFsAgent::logout() {
+  if (fs_) {
+    try {
+      // Voluntary logout syncs staged write-backs (fsync-on-logout); a crash
+      // landing clears the queue first, so this never double-commits.
+      (void)fs_->flush_all();
+    } catch (const sim::ClientCrash&) {
+      // Died mid-flush: staged RAM is lost; the intent journal repairs the
+      // committed prefix at the next login.
+      fs_->discard_dirty();
+    }
+  }
   log_.reset();
   fs_.reset();
   storage_.reset();
@@ -122,6 +152,7 @@ Status RockFsAgent::crash_landing(const sim::ClientCrash& crash) {
   // replays the intent journal and repairs whatever the crash left behind.
   LOG_WARN("agent " << user_id_ << " crashed at "
                     << sim::crash_point_name(crash.point));
+  if (fs_) fs_->discard_dirty();  // a dead process cannot flush its RAM
   logout();
   return Status{ErrorCode::kCrashed,
                 std::string("client crashed at ") + sim::crash_point_name(crash.point)};
@@ -146,12 +177,22 @@ Bytes RockFsAgent::current_session_key() {
 
 Result<RockFsAgent::Fd> RockFsAgent::create(const std::string& path) {
   if (!fs_) return Error{not_logged_in().error()};
-  return fs_->create(path);
+  // Namespace operations can piggyback a due write-back flush, so any of
+  // them can hit an armed crash point — same dead-client landing as close.
+  try {
+    return fs_->create(path);
+  } catch (const sim::ClientCrash& crash) {
+    return Error{crash_landing(crash).error()};
+  }
 }
 
 Result<RockFsAgent::Fd> RockFsAgent::open(const std::string& path) {
   if (!fs_) return Error{not_logged_in().error()};
-  return fs_->open(path);
+  try {
+    return fs_->open(path);
+  } catch (const sim::ClientCrash& crash) {
+    return Error{crash_landing(crash).error()};
+  }
 }
 
 Result<Bytes> RockFsAgent::read(Fd fd, std::size_t offset, std::size_t length) {
@@ -217,26 +258,70 @@ Status RockFsAgent::unlink(const std::string& path) {
 
 Result<scfs::FileStat> RockFsAgent::stat(const std::string& path) {
   if (!fs_) return Error{not_logged_in().error()};
-  return fs_->stat(path);
+  try {
+    return fs_->stat(path);
+  } catch (const sim::ClientCrash& crash) {
+    return Error{crash_landing(crash).error()};
+  }
 }
 
 Result<std::vector<std::string>> RockFsAgent::readdir(const std::string& prefix) {
   if (!fs_) return Error{not_logged_in().error()};
-  return fs_->readdir(prefix);
+  try {
+    return fs_->readdir(prefix);
+  } catch (const sim::ClientCrash& crash) {
+    return Error{crash_landing(crash).error()};
+  }
 }
 
 void RockFsAgent::drain_background() {
-  if (fs_) fs_->drain_background();
+  if (!fs_) return;
+  try {
+    fs_->drain_background();
+  } catch (const sim::ClientCrash& crash) {
+    (void)crash_landing(crash);
+  }
+}
+
+Status RockFsAgent::flush(const std::string& path) {
+  if (!fs_) return not_logged_in();
+  try {
+    return fs_->flush(path);
+  } catch (const sim::ClientCrash& crash) {
+    return crash_landing(crash);
+  }
+}
+
+Status RockFsAgent::flush_all() {
+  if (!fs_) return not_logged_in();
+  try {
+    return fs_->flush_all();
+  } catch (const sim::ClientCrash& crash) {
+    return crash_landing(crash);
+  }
+}
+
+void RockFsAgent::drop_cache() {
+  if (cache_) cache_->drop_all();
+  if (fs_) fs_->discard_dirty();  // revoked writers do not get to flush
 }
 
 Status RockFsAgent::lock(const std::string& path) {
   if (!fs_) return not_logged_in();
-  return fs_->lock(path);
+  try {
+    return fs_->lock(path);
+  } catch (const sim::ClientCrash& crash) {
+    return crash_landing(crash);
+  }
 }
 
 Status RockFsAgent::unlock(const std::string& path) {
   if (!fs_) return not_logged_in();
-  return fs_->unlock(path);
+  try {
+    return fs_->unlock(path);
+  } catch (const sim::ClientCrash& crash) {
+    return crash_landing(crash);
+  }
 }
 
 std::optional<std::uint64_t> RockFsAgent::held_epoch(const std::string& path) const {

@@ -59,6 +59,17 @@ struct AgentOptions {
   /// Cloud-set membership epoch this agent believes current (depsky/
   /// reconfig.h). Writes fail closed (kFenced) against newer-epoch metadata.
   std::uint64_t membership_epoch = 0;
+  /// Client cache (src/cache, ARCHITECTURE §13). On disables all three tiers.
+  bool enable_cache = true;
+  /// Pre-built per-user cache handle. Null = the agent builds a private one
+  /// at first login and keeps it across re-logins (entries survive because
+  /// they are sealed; a rotated key makes stale ones fail open). Deployments
+  /// pass a shared handle so compromise response can drop it from outside.
+  cache::ClientCachePtr cache;
+  /// Sizing/TTL knobs when the agent builds its own cache.
+  cache::CacheOptions cache_config;
+  /// Write-back staging of close()s (off = write-through, the PR ≤9 path).
+  cache::WriteBackOptions writeback;
 };
 
 /// Where the agent finds PVSS share-holder keys at login time. The device
@@ -101,6 +112,13 @@ class RockFsAgent {
   Result<scfs::FileStat> stat(const std::string& path);
   Result<std::vector<std::string>> readdir(const std::string& prefix);
   void drain_background();
+
+  // ---- write-back control (cache/writeback.h; no-ops when wb is off) ----
+
+  /// fsync semantics: commit the staged write-back for `path` now.
+  Status flush(const std::string& path);
+  /// Commit every staged write-back (called by logout automatically).
+  Status flush_all();
 
   // ---- advisory locking (lease + fencing epoch, scfs/lease.h) ----
 
@@ -145,6 +163,11 @@ class RockFsAgent {
   /// Sequence number of the next log entry (== entries logged so far).
   std::uint64_t log_seq() const;
   const AgentOptions& options() const noexcept { return options_; }
+  /// The per-user cache handle (null before first login / when disabled).
+  /// Outlives sessions: logout keeps it, revocation drops its contents.
+  const cache::ClientCachePtr& cache() const noexcept { return cache_; }
+  /// Drops every cache tier for this user (compromise response / tests).
+  void drop_cache();
 
  private:
   /// Turns a fired crash point into the dead-client outcome: the session is
@@ -171,6 +194,9 @@ class RockFsAgent {
   std::unique_ptr<scfs::Scfs> fs_;
   std::unique_ptr<LogService> log_;
   std::shared_ptr<SessionKeyManager> session_keys_;
+  /// Survives logout/login cycles (the whole point of sealing entries); only
+  /// drop_cache(), key rotation, or compromise response empty it.
+  cache::ClientCachePtr cache_;
 };
 
 }  // namespace rockfs::core

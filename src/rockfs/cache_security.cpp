@@ -45,6 +45,7 @@ SessionKeyManager::Current SessionKeyManager::current(crypto::Drbg& drbg) {
   key_ = drbg.generate_key();
   expiry_us_ = clock_->now_us() + validity_us_;
   register_key(key_);
+  if (rotation_hook_) rotation_hook_();
   return {key_, true};
 }
 

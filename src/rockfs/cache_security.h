@@ -11,6 +11,7 @@
 // rotation (§4.2.1). When the key expires the whole cache is discarded.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -47,6 +48,12 @@ class SessionKeyManager {
 
   std::int64_t expiry_us() const noexcept { return expiry_us_; }
 
+  /// Invoked after every rotation (fresh key minted + registered). The agent
+  /// hangs the cache drop here: a rotation must leave ZERO servable entries —
+  /// sealed data would fail open anyway, but metadata and negative entries
+  /// carry no seal, so only an explicit drop evicts them (§4.2.1).
+  void set_rotation_hook(std::function<void()> hook) { rotation_hook_ = std::move(hook); }
+
  private:
   void register_key(BytesView key);
 
@@ -56,6 +63,7 @@ class SessionKeyManager {
   std::int64_t validity_us_;
   Bytes key_;
   std::int64_t expiry_us_ = -1;
+  std::function<void()> rotation_hook_;
 };
 
 /// Registers `key`'s digest as the user's one currently-valid session key,

@@ -95,6 +95,12 @@ RockFsAgent& Deployment::add_user(const std::string& user_id, const AgentOptions
   AgentOptions agent_options = options;
   agent_options.trusted_writers.push_back(crypto::point_encode(admin_keys_.public_key));
   if (!agent_options.crash) agent_options.crash = crash_;
+  if (agent_options.enable_cache && !agent_options.cache) {
+    // Per-USER cache handle, minted here (not inside the agent) so the
+    // deployment's compromise response can reach it. Each user gets their
+    // own instance — a handle set by the caller is respected as-is.
+    agent_options.cache = std::make_shared<cache::ClientCache>(agent_options.cache_config);
+  }
   auto agent = std::make_unique<RockFsAgent>(user_id, clouds_, coordination_, clock_,
                                              agent_options, us.holder_pubs,
                                              /*threshold=*/2);
@@ -257,6 +263,15 @@ Result<Deployment::CompromiseResponse> Deployment::respond_to_compromise(
     clock_->advance_us(evicted.delay);
     if (!evicted.value.ok()) return Error{evicted.value.error()};
     out.leases_evicted = *evicted.value;
+
+    // 3b. Drop the user's client cache — every tier. A compromised device
+    //     must not keep serving pre-revocation state (file bytes, head
+    //     versions, cached misses), and staged write-backs from the stolen
+    //     session are discarded, never flushed. Done BEFORE the logout below,
+    //     whose voluntary flush would otherwise commit them.
+    if (const auto it = agents_.find(user_id); it != agents_.end()) {
+      it->second->drop_cache();
+    }
 
     // 4. Rotate the keystore. The honest client's live session also holds
     //    pre-floor credentials — tear it down before replacing its keystore.

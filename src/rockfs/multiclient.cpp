@@ -32,7 +32,13 @@ Status append_token(RockFsAgent& agent, const std::string& path,
     (void)agent.close(*fd);
     return st;
   }
-  return agent.close(*fd);
+  auto st = agent.close(*fd);
+  if (!st.ok()) return st;
+  // With write-back staging on, the close only parked the bytes: the commit
+  // pipeline — and whatever crash/fence fate the round armed — runs in the
+  // flush, while this agent still holds the lease. A no-op when staging is
+  // off, so one code path serves both modes.
+  return agent.flush(path);
 }
 
 }  // namespace
@@ -46,6 +52,9 @@ MultiClientReport run_multiclient_soak(const MultiClientOptions& options) {
   dopt.agent.sync_mode = scfs::SyncMode::kBlocking;
   dopt.agent.lease_ttl_us = options.lease_ttl_us;
   dopt.agent.fencing = true;
+  dopt.agent.enable_cache = options.client_cache;
+  dopt.agent.writeback.enabled = options.write_back;
+  dopt.executor_threads = options.executor_threads;
   Deployment dep(dopt);
   if (options.byzantine_coord_replica && dep.coordination()->replica_count() > 1) {
     dep.coordination()->replica(1).set_byzantine(true);
@@ -234,10 +243,13 @@ MultiClientReport run_multiclient_soak(const MultiClientOptions& options) {
   blob += ";lost=" + std::to_string(report.lost_updates);
   blob += ";zombies=" + std::to_string(report.zombie_updates);
   blob += ";divergent=" + std::to_string(report.divergent_reads);
+  std::string content_blob;
   for (const auto& [path, content] : report.final_contents) {
     blob += ";" + path + "=>" + content;
+    content_blob += path + "=>" + content + "\n";
   }
   report.digest = hex_encode(crypto::sha256(to_bytes(blob)));
+  report.content_digest = hex_encode(crypto::sha256(to_bytes(content_blob)));
   return report;
 }
 

@@ -33,6 +33,15 @@ struct MultiClientOptions {
   /// Marks one coordination replica Byzantine for the whole soak (masked by
   /// the 3f+1 quorum; lease CAS must still never grant two holders).
   bool byzantine_coord_replica = false;
+  /// Client cache (src/cache) on the agents. The converged content must be
+  /// BYTE-IDENTICAL with the cache on or off (content_digest compares runs).
+  bool client_cache = true;
+  /// Write-back staging of closes. The harness flushes after every close
+  /// (while the lease is held), so crash/fence fates fire inside the flush.
+  bool write_back = false;
+  /// Thread-pool size handed to the deployment (0 = inline). kBarrier joins
+  /// keep every digest identical at any value.
+  std::size_t executor_threads = 0;
 };
 
 struct MultiClientReport {
@@ -49,6 +58,10 @@ struct MultiClientReport {
   std::size_t divergent_reads = 0;   // agents disagreeing on final content
   std::map<std::string, std::string> final_contents;  // path -> final bytes
   std::string digest;  // sha256 over counters + final contents (determinism)
+  /// sha256 over final contents ONLY: invariant across configurations that
+  /// may legally shift counters/timing (cache on/off, thread counts) but
+  /// must converge to the same bytes.
+  std::string content_digest;
 
   bool converged() const {
     return lost_updates == 0 && zombie_updates == 0 && divergent_reads == 0;

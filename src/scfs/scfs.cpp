@@ -66,18 +66,41 @@ Scfs::Scfs(std::shared_ptr<depsky::DepSkyClient> storage,
       coordination_(std::move(coordination)),
       clock_(std::move(clock)),
       options_(std::move(options)),
-      transform_(std::make_shared<PassthroughTransform>()) {
+      transform_(std::make_shared<PassthroughTransform>()),
+      wb_(options_.writeback) {
+  if (options_.use_cache) {
+    cache_ = options_.cache ? options_.cache
+                            : std::make_shared<cache::ClientCache>(options_.cache_config);
+  }
   auto& reg = obs::metrics();
   close_count_ = &reg.counter("scfs.close.count");
   close_bytes_ = &reg.counter("scfs.close.bytes");
   close_errors_ = &reg.counter("scfs.close.errors");
   close_fenced_ = &reg.counter("scfs.close.fenced");
   close_delay_us_ = &reg.histogram("scfs.close.delay_us");
+  data_hits_ = &reg.counter("cache.data.hits");
+  data_misses_ = &reg.counter("cache.data.misses");
+  unseal_fails_ = &reg.counter("cache.data.unseal_fail");
+  meta_hits_ = &reg.counter("cache.meta.hits");
+  meta_misses_ = &reg.counter("cache.meta.misses");
+  negative_hits_ = &reg.counter("cache.negative.hits");
+  wb_dirty_serves_ = &reg.counter("cache.wb.dirty_serves");
+  wb_flushes_ = &reg.counter("cache.wb.flushes");
+  wb_flush_bytes_ = &reg.counter("cache.wb.flush_bytes");
+  wb_fenced_ = &reg.counter("cache.wb.fenced");
+  wb_flush_errors_ = &reg.counter("cache.wb.flush_errors");
+  open_hit_us_ = &reg.histogram("cache.open.hit_us");
+  open_miss_us_ = &reg.histogram("cache.open.miss_us");
 }
 
-void Scfs::set_cache_transform(std::shared_ptr<CacheTransform> transform) {
+void Scfs::set_cache_transform(std::shared_ptr<CacheTransform> transform,
+                               bool drop_entries) {
   transform_ = std::move(transform);
-  cache_.clear();  // old representations are unreadable under the new transform
+  // By default old representations are assumed unreadable under the new
+  // transform and dropped. Agents re-installing a transform keyed by the
+  // same session-key lineage keep the shared cache warm instead: an entry
+  // the (possibly rotated) key cannot unseal fails open and is refetched.
+  if (drop_entries && cache_) cache_->drop_all();
 }
 
 void Scfs::set_close_interceptor(CloseInterceptor interceptor) {
@@ -88,16 +111,17 @@ void Scfs::set_close_intent_hook(CloseInterceptor hook) {
   intent_hook_ = std::move(hook);
 }
 
-void Scfs::clear_cache() { cache_.clear(); }
+void Scfs::clear_cache() {
+  if (cache_) cache_->drop_all();
+}
 
 std::optional<Bytes> Scfs::cached_raw(const std::string& path) const {
-  const auto it = cache_.find(path);
-  if (it == cache_.end()) return std::nullopt;
-  return it->second.raw;
+  if (!cache_) return std::nullopt;
+  return cache_->peek_raw(path);
 }
 
 void Scfs::poke_cache(const std::string& path, Bytes raw) {
-  cache_[path].raw = std::move(raw);
+  if (cache_) cache_->poke_raw(path, std::move(raw));
 }
 
 std::string Scfs::unit_for(const std::string& path) const {
@@ -114,18 +138,82 @@ sim::SimClock::Micros Scfs::local_cost(std::size_t bytes) const {
                                             options_.local_disk_bytes_per_sec);
 }
 
+bool Scfs::is_open_path(const std::string& path) const {
+  for (const auto& [fd, of] : open_files_) {
+    if (of.path == path) return true;
+  }
+  return false;
+}
+
 Result<FileStat> Scfs::stat_nocharge(const std::string& path,
                                      sim::SimClock::Micros* delay) {
+  // Dirty overlay: a staged write-back is this client's freshest view of
+  // the path (read-your-writes — without it, a read_file between a staged
+  // close and its flush would truncate to the committed size).
+  if (wb_.enabled()) {
+    if (auto staged = wb_.snapshot(path)) {
+      FileStat s;
+      s.path = path;
+      s.version = staged->base_version;  // committed version underneath
+      s.size = staged->content.size();
+      s.owner = options_.user_id;
+      s.modified_us = staged->first_dirty_us;
+      s.epoch = staged->stamp_epoch;
+      return s;
+    }
+  }
+  if (cache_) {
+    // Lease-validated fast path (§13.2): an entry filled while holding the
+    // SAME lease epoch we still hold cannot be stale — no locking writer
+    // can commit past a live lease — so it serves with zero remote rounds.
+    // (Advisory non-locking writers bypass leases by design; coherence is
+    // guaranteed among locking clients, the SCFS contract.)
+    if (const auto held = held_leases_.find(path); held != held_leases_.end()) {
+      if (auto m = cache_->get_meta(path);
+          m.has_value() && m->lease_epoch == held->second) {
+        meta_hits_->add();
+        FileStat s;
+        s.path = path;
+        s.version = m->version;
+        s.size = m->size;
+        s.owner = m->owner;
+        s.modified_us = m->modified_us;
+        s.epoch = m->file_epoch;
+        return s;
+      }
+    }
+    if (cache_->is_negative(path, clock_->now_us())) {
+      negative_hits_->add();
+      return Error{ErrorCode::kNotFound, "scfs: no such file: " + path};
+    }
+  }
   auto r = coordination_->rdp(inode_pattern(path));
   if (delay != nullptr) *delay += r.delay;
   if (!r.value.ok()) return Error{r.value.error()};
   if (!r.value->has_value()) {
+    if (cache_) cache_->note_missing(path, clock_->now_us());
     return Error{ErrorCode::kNotFound, "scfs: no such file: " + path};
   }
-  return parse_inode(**r.value);
+  auto st = parse_inode(**r.value);
+  if (st.ok() && cache_) {
+    cache_->clear_negative(path);  // a live tuple kills any cached miss
+    cache::MetaEntry m;
+    m.version = st->version;
+    m.size = st->size;
+    m.owner = st->owner;
+    m.modified_us = st->modified_us;
+    m.file_epoch = st->epoch;
+    if (const auto held = held_leases_.find(path); held != held_leases_.end()) {
+      m.lease_epoch = held->second;
+    }
+    cache_->put_meta(path, m);
+    meta_misses_->add();
+  }
+  return st;
 }
 
 Result<Scfs::Fd> Scfs::create(const std::string& path) {
+  maybe_flush_due();
   sim::SimClock::Micros delay = local_cost(0);
   FileStat s;
   s.path = path;
@@ -138,6 +226,10 @@ Result<Scfs::Fd> Scfs::create(const std::string& path) {
   delay += cas.delay;
   clock_->advance_us(delay);
   if (!cas.value.ok()) return Error{cas.value.error()};
+  // Either CAS outcome observed the namespace: the path now exists (we made
+  // it) or a tuple already did — a cached kNotFound is invalid both ways,
+  // so a create-after-miss can never be answered kNotFound from cache.
+  if (cache_) cache_->clear_negative(path);
   if (!*cas.value) {
     return Error{ErrorCode::kConflict, "scfs: file exists: " + path};
   }
@@ -153,7 +245,31 @@ Result<Scfs::Fd> Scfs::create(const std::string& path) {
 }
 
 Result<Scfs::Fd> Scfs::open(const std::string& path) {
+  maybe_flush_due();
   sim::SimClock::Micros delay = local_cost(0);
+
+  // Read-your-writes: serve the staged write-back content directly. The
+  // open's version stays the committed base — the eventual flush commits
+  // base_version + 1 no matter how many closes coalesced into the entry.
+  if (wb_.enabled()) {
+    if (auto staged = wb_.snapshot(path)) {
+      OpenFile of;
+      of.path = path;
+      of.content = std::move(staged->content);
+      of.version = staged->base_version;
+      of.epoch = staged->stamp_epoch;
+      of.base_owner = options_.user_id;
+      delay += local_cost(of.content.size());
+      of.original = of.content;
+      clock_->advance_us(delay);
+      wb_dirty_serves_->add();
+      open_hit_us_->record(static_cast<std::uint64_t>(delay));
+      const Fd fd = next_fd_++;
+      open_files_[fd] = std::move(of);
+      return fd;
+    }
+  }
+
   auto st = stat_nocharge(path, &delay);
   if (!st.ok()) {
     clock_->advance_us(delay);
@@ -167,19 +283,25 @@ Result<Scfs::Fd> Scfs::open(const std::string& path) {
   of.base_owner = st->owner;
 
   bool loaded = false;
-  if (options_.use_cache) {
-    const auto it = cache_.find(path);
-    if (it != cache_.end() && it->second.version == st->version) {
-      delay += local_cost(it->second.raw.size());
-      auto plain = transform_->unprotect(path, st->version, it->second.raw);
-      if (plain.ok()) {
-        of.content = std::move(*plain);
-        loaded = true;
+  bool fetched_remote = false;
+  if (cache_) {
+    if (auto entry = cache_->get_data(path)) {
+      if (entry->version == st->version) {
+        delay += local_cost(entry->raw.size());
+        auto plain = transform_->unprotect(path, st->version, entry->raw);
+        if (plain.ok()) {
+          of.content = std::move(*plain);
+          loaded = true;
+          data_hits_->add();
+        } else {
+          // Tampered or stale cache: discard and fall through to a cloud
+          // fetch (the §4.2.2 integrity path).
+          LOG_WARN("scfs: cache integrity failure for " << path << ", refetching");
+          cache_->erase_data(path);
+          unseal_fails_->add();
+        }
       } else {
-        // Tampered or stale cache: discard and fall through to a cloud fetch
-        // (the §4.2.2 integrity path).
-        LOG_WARN("scfs: cache integrity failure for " << path << ", refetching");
-        cache_.erase(it);
+        cache_->erase_data(path);  // superseded by a newer committed version
       }
     }
   }
@@ -191,13 +313,20 @@ Result<Scfs::Fd> Scfs::open(const std::string& path) {
       return Error{fetched.value.error()};
     }
     of.content = std::move(*fetched.value);
-    if (options_.use_cache) {
+    if (cache_) {
       delay += local_cost(of.content.size());
-      cache_[path] = {transform_->protect(path, st->version, of.content), st->version};
+      cache_->put_data(path, transform_->protect(path, st->version, of.content),
+                       st->version);
     }
+    data_misses_->add();
+    fetched_remote = true;
   }
   of.original = of.content;
   clock_->advance_us(delay);
+  if (st->version > 0) {
+    (fetched_remote ? open_miss_us_ : open_hit_us_)
+        ->record(static_cast<std::uint64_t>(delay));
+  }
   const Fd fd = next_fd_++;
   open_files_[fd] = std::move(of);
   return fd;
@@ -240,6 +369,150 @@ Status Scfs::truncate(Fd fd, std::size_t new_size) {
   it->second.dirty = true;
   clock_->advance_us(options_.local_op_cost_us / 8);
   return {};
+}
+
+Scfs::CommitResult Scfs::commit_job(const CommitJob& job, obs::Span& span) {
+  CommitResult r;
+
+  if (crash_) crash_->maybe_crash(sim::CrashPoint::kBeforeFilePut);
+
+  // Local work: agent bookkeeping + write-through of the (transformed) cache.
+  r.local = local_cost(job.content.size());
+
+  // Fencing pre-flight: refuse before ANY cloud object of this commit exists
+  // when the lease epoch already moved past this writer. A hang at the crash
+  // point above models exactly the stall (GC pause, partition) after which
+  // an evicted client would otherwise clobber its successor.
+  if (job.write_epoch != kNoFenceEpoch) {
+    auto fence = read_fence_epoch(*coordination_, job.path);
+    r.local += fence.delay;
+    span.charge_child(static_cast<std::uint64_t>(fence.delay));
+    if (fence.value.ok() && *fence.value > job.write_epoch) {
+      close_fenced_->add();
+      r.status = {ErrorCode::kFenced,
+                  "scfs: fenced: " + job.path + " epoch moved past writer"};
+      return r;
+    }
+    // A failed fence read is not a license to commit blind; the commit-side
+    // check (log append / pre-inode) settles it.
+  }
+
+  if (cache_) {
+    cache_->put_data(job.path,
+                     transform_->protect(job.path, job.new_version, job.content),
+                     job.new_version);
+  }
+
+  // Write-ahead intent (RockFS crash consistency): persisted before ANY
+  // cloud object of this commit exists, serialized ahead of the pipeline.
+  if (intent_hook_) {
+    auto intent =
+        intent_hook_(job.path, job.log_base, job.content, job.new_version, job.write_epoch);
+    span.charge_child(static_cast<std::uint64_t>(intent.delay));
+    r.local += intent.delay;  // serialized ahead of the parallel pipelines
+    if (!intent.value.ok()) {
+      r.status = std::move(intent.value);
+      return r;
+    }
+  }
+
+  // The upload pipeline: file upload and the interceptor's pipeline (RockFS
+  // logging) run in parallel; the metadata tuple update must come after both
+  // (§2.5 ordering). The fanout group's duration is the composed pipeline
+  // delay; the overlapping children inside it are excluded from exclusive-
+  // time sums.
+  obs::Span pipeline_span = obs::tracer().span("scfs.upload_pipeline", {.fanout = true});
+  auto file_up = storage_->write(storage_tokens_, unit_for(job.path), job.content);
+  if (!file_up.value.ok()) {
+    pipeline_span.set_duration(static_cast<std::uint64_t>(file_up.delay));
+    pipeline_span.set_outcome(file_up.value.code());
+    pipeline_span.finish();
+    span.charge_child(static_cast<std::uint64_t>(file_up.delay));
+    r.pipeline = file_up.delay;
+    r.status = Status{file_up.value.error()};
+    return r;
+  }
+  if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterFilePut);
+  r.pipeline = file_up.delay;
+  Status interceptor_status;
+  bool fence_unresolved = false;
+  if (interceptor_) {
+    auto extra = interceptor_(job.path, job.log_base, job.content, job.new_version,
+                              job.write_epoch);
+    if (!extra.value.ok()) interceptor_status = std::move(extra.value);
+    // File and log pipelines run in parallel (§6.1 optimization (2)) but
+    // their transfers contend for the client uplink.
+    const auto shorter = std::min(r.pipeline, extra.delay);
+    r.pipeline = std::max(r.pipeline, extra.delay) +
+                 static_cast<sim::SimClock::Micros>(options_.uplink_contention *
+                                                    static_cast<double>(shorter));
+  } else if (job.write_epoch != kNoFenceEpoch) {
+    // No log pipeline to carry the commit-side fence check: do it here,
+    // after the crash point above (whose hang is the eviction window),
+    // before the inode moves.
+    auto fence = read_fence_epoch(*coordination_, job.path);
+    r.pipeline += fence.delay;  // serialized after the upload
+    span.charge_child(static_cast<std::uint64_t>(fence.delay));
+    if (!fence.value.ok()) {
+      // Fail closed: without a quorum read of the lease we cannot prove the
+      // epoch still admits this writer, and the inode commit needs the
+      // coordination service anyway. Surface the (retryable) read error and
+      // leave the inode untouched rather than commit a possibly fenced write.
+      interceptor_status = Status{fence.value.error()};
+      fence_unresolved = true;
+    } else if (*fence.value > job.write_epoch) {
+      interceptor_status = Status{
+          ErrorCode::kFenced, "scfs: fenced: " + job.path + " epoch moved past writer"};
+    }
+  }
+  pipeline_span.set_duration(static_cast<std::uint64_t>(r.pipeline));
+  pipeline_span.finish();
+  span.charge_child(static_cast<std::uint64_t>(r.pipeline));
+
+  if (interceptor_status.code() == ErrorCode::kFenced || fence_unresolved) {
+    // The commit was refused on a stale epoch (or the epoch could not be
+    // proved fresh): the inode must NOT move — the file's authoritative
+    // version and its log chain stay un-forked; the uploaded object is
+    // superseded garbage the next committed write buries.
+    if (interceptor_status.code() == ErrorCode::kFenced) close_fenced_->add();
+    r.status = std::move(interceptor_status);
+    return r;
+  }
+
+  FileStat s;
+  s.path = job.path;
+  s.version = job.new_version;
+  s.size = job.content.size();
+  s.owner = options_.user_id;
+  s.modified_us = clock_->now_us();
+  s.epoch = job.write_epoch == kNoFenceEpoch ? job.stamp_epoch : job.write_epoch;
+  auto meta = coordination_->replace(inode_pattern(job.path), inode_tuple(s));
+  span.charge_child(static_cast<std::uint64_t>(meta.delay));
+  r.meta = meta.delay;
+  if (!meta.value.ok()) {
+    r.status = Status{meta.value.error()};
+    return r;
+  }
+  r.committed = true;
+  r.status = std::move(interceptor_status);  // may carry a non-fatal log error
+
+  if (cache_) {
+    // The committed write is the freshest head version this client can know:
+    // refresh the metadata tier (anchored to the held lease epoch, if any)
+    // and kill any cached miss.
+    cache::MetaEntry m;
+    m.version = s.version;
+    m.size = s.size;
+    m.owner = s.owner;
+    m.modified_us = s.modified_us;
+    m.file_epoch = s.epoch;
+    if (const auto held = held_leases_.find(job.path); held != held_leases_.end()) {
+      m.lease_epoch = held->second;
+    }
+    cache_->put_meta(job.path, m);
+    cache_->clear_negative(job.path);
+  }
+  return r;
 }
 
 sim::Timed<Status> Scfs::close_timed(Fd fd) {
@@ -288,35 +561,6 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
     }
   }
 
-  if (crash_) crash_->maybe_crash(sim::CrashPoint::kBeforeFilePut);
-
-  // Local work: agent bookkeeping + write-through of the (transformed) cache.
-  sim::SimClock::Micros local = local_cost(of.content.size());
-
-  // Fencing pre-flight: refuse before ANY cloud object of this close exists
-  // when the lease epoch already moved past this writer. A hang at the crash
-  // point above models exactly the stall (GC pause, partition) after which
-  // an evicted client would otherwise clobber its successor.
-  if (write_epoch != kNoFenceEpoch) {
-    auto fence = read_fence_epoch(*coordination_, of.path);
-    local += fence.delay;
-    span.charge_child(static_cast<std::uint64_t>(fence.delay));
-    if (fence.value.ok() && *fence.value > write_epoch) {
-      close_fenced_->add();
-      clock_->advance_us(local);
-      observe(local, ErrorCode::kFenced);
-      return {Status{ErrorCode::kFenced,
-                     "scfs: fenced: " + of.path + " epoch moved past writer"},
-              local};
-    }
-    // A failed fence read is not a license to commit blind; the commit-side
-    // check (log append / pre-inode) settles it.
-  }
-
-  if (options_.use_cache) {
-    cache_[of.path] = {transform_->protect(of.path, new_version, of.content), new_version};
-  }
-
   // Cross-user base: the version we opened was written by someone else,
   // whose chain logged it — OUR chain has never seen those bytes. Hand the
   // log hooks an empty base so this entry is whole-file: every user's
@@ -327,114 +571,61 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
       (!of.base_owner.empty() && of.base_owner != options_.user_id) ? empty_base
                                                                     : of.original;
 
-  // Write-ahead intent (RockFS crash consistency): persisted before ANY
-  // cloud object of this close exists, serialized ahead of the pipeline.
-  sim::SimClock::Micros intent_delay = 0;
-  if (intent_hook_) {
-    auto intent = intent_hook_(of.path, log_base, of.content, new_version, write_epoch);
-    intent_delay = intent.delay;
-    span.charge_child(static_cast<std::uint64_t>(intent_delay));
-    if (!intent.value.ok()) {
-      clock_->advance_us(local + intent_delay);
-      observe(local + intent_delay, intent.value.code());
-      return {std::move(intent.value), local + intent_delay};
+  if (wb_.enabled()) {
+    // Stage-and-return: the commit pipeline (intent → uploads → inode) runs
+    // at the next flush trigger instead, coalescing with any later closes
+    // of the path. The base side freezes at the FIRST staging; a dirty-open
+    // re-close only replaces the content (writeback.h).
+    cache::DirtyEntry entry;
+    entry.content = of.content;
+    entry.log_base = log_base;
+    entry.base_version = of.version;
+    entry.write_epoch = write_epoch;
+    entry.stamp_epoch = of.epoch;
+    entry.first_dirty_us = clock_->now_us();
+    wb_.stage(of.path, std::move(entry));
+    const auto local = local_cost(of.content.size());
+    clock_->advance_us(local);
+    observe(local, ErrorCode::kOk);
+    span.finish();
+    if (wb_.over_cap()) {
+      // Dirty-bytes high-water mark: drain synchronously in sorted order.
+      // The drain charges the clock but not this close's reported latency —
+      // the cap bounds RAM and the crash-loss window, not the fast path.
+      for (const auto& p : wb_.paths()) {
+        if (is_open_path(p)) continue;
+        (void)flush_path(p);
+      }
     }
-    local += intent_delay;  // serialized ahead of the parallel pipelines
+    return {Status::Ok(), local};
   }
 
-  // The upload pipeline: file upload and the interceptor's pipeline (RockFS
-  // logging) run in parallel; the metadata tuple update must come after both
-  // (§2.5 ordering). The fanout group's duration is the composed pipeline
-  // delay; the overlapping children inside it are excluded from exclusive-
-  // time sums.
-  obs::Span pipeline_span = obs::tracer().span("scfs.upload_pipeline", {.fanout = true});
-  auto file_up = storage_->write(storage_tokens_, unit_for(of.path), of.content);
-  if (!file_up.value.ok()) {
-    pipeline_span.set_duration(static_cast<std::uint64_t>(file_up.delay));
-    pipeline_span.set_outcome(file_up.value.code());
-    pipeline_span.finish();
-    span.charge_child(static_cast<std::uint64_t>(file_up.delay));
-    clock_->advance_us(local + file_up.delay);
-    observe(local + file_up.delay, file_up.value.code());
-    return {Status{file_up.value.error()}, local + file_up.delay};
-  }
-  if (crash_) crash_->maybe_crash(sim::CrashPoint::kAfterFilePut);
-  sim::SimClock::Micros pipeline = file_up.delay;
-  Status interceptor_status;
-  bool fence_unresolved = false;
-  if (interceptor_) {
-    auto extra = interceptor_(of.path, log_base, of.content, new_version, write_epoch);
-    if (!extra.value.ok()) interceptor_status = std::move(extra.value);
-    // File and log pipelines run in parallel (§6.1 optimization (2)) but
-    // their transfers contend for the client uplink.
-    const auto shorter = std::min(pipeline, extra.delay);
-    pipeline = std::max(pipeline, extra.delay) +
-               static_cast<sim::SimClock::Micros>(options_.uplink_contention *
-                                                  static_cast<double>(shorter));
-  } else if (write_epoch != kNoFenceEpoch) {
-    // No log pipeline to carry the commit-side fence check: do it here,
-    // after the crash point above (whose hang is the eviction window),
-    // before the inode moves.
-    auto fence = read_fence_epoch(*coordination_, of.path);
-    pipeline += fence.delay;  // serialized after the upload
-    span.charge_child(static_cast<std::uint64_t>(fence.delay));
-    if (!fence.value.ok()) {
-      // Fail closed: without a quorum read of the lease we cannot prove the
-      // epoch still admits this writer, and the inode commit needs the
-      // coordination service anyway. Surface the (retryable) read error and
-      // leave the inode untouched rather than commit a possibly fenced write.
-      interceptor_status = Status{fence.value.error()};
-      fence_unresolved = true;
-    } else if (*fence.value > write_epoch) {
-      interceptor_status = Status{
-          ErrorCode::kFenced, "scfs: fenced: " + of.path + " epoch moved past writer"};
-    }
-  }
-  pipeline_span.set_duration(static_cast<std::uint64_t>(pipeline));
-  pipeline_span.finish();
-  span.charge_child(static_cast<std::uint64_t>(pipeline));
+  CommitJob job;
+  job.path = of.path;
+  job.log_base = log_base;
+  job.content = std::move(of.content);
+  job.new_version = new_version;
+  job.write_epoch = write_epoch;
+  job.stamp_epoch = of.epoch;
+  auto r = commit_job(job, span);
 
-  if (interceptor_status.code() == ErrorCode::kFenced || fence_unresolved) {
-    // The commit was refused on a stale epoch (or the epoch could not be
-    // proved fresh): the inode must NOT move — the file's authoritative
-    // version and its log chain stay un-forked; the uploaded object is
-    // superseded garbage the next committed write buries.
-    if (interceptor_status.code() == ErrorCode::kFenced) close_fenced_->add();
-    const auto total = local + pipeline;
+  if (!r.committed) {
+    const auto total = r.local + r.pipeline + r.meta;
     clock_->advance_us(total);
-    observe(total, interceptor_status.code());
-    return {std::move(interceptor_status), total};
+    observe(total, r.status.code());
+    return {std::move(r.status), total};
   }
-
-  FileStat s;
-  s.path = of.path;
-  s.version = new_version;
-  s.size = of.content.size();
-  s.owner = options_.user_id;
-  s.modified_us = clock_->now_us();
-  s.epoch = write_epoch == kNoFenceEpoch ? of.epoch : write_epoch;
-  auto meta = coordination_->replace(inode_pattern(of.path), inode_tuple(s));
-  span.charge_child(static_cast<std::uint64_t>(meta.delay));
-  if (!meta.value.ok()) {
-    clock_->advance_us(local + pipeline + meta.delay);
-    observe(local + pipeline + meta.delay, meta.value.code());
-    return {Status{meta.value.error()}, local + pipeline + meta.delay};
-  }
-  const sim::SimClock::Micros recorded = pipeline + meta.delay;
+  const sim::SimClock::Micros recorded = r.pipeline + r.meta;
 
   if (options_.sync_mode == SyncMode::kBlocking) {
     // Blocking: the caller waits for upload + metadata, plus a final
     // confirmation round with the coordination service (sync barrier).
-    auto barrier = coordination_->count(inode_pattern(of.path));
+    auto barrier = coordination_->count(inode_pattern(job.path));
     span.charge_child(static_cast<std::uint64_t>(barrier.delay));
-    const auto total = local + recorded + barrier.delay;
+    const auto total = r.local + recorded + barrier.delay;
     clock_->advance_us(total);
-    if (!interceptor_status.ok()) {
-      observe(total, interceptor_status.code());
-      return {std::move(interceptor_status), total};
-    }
-    observe(total, ErrorCode::kOk);
-    return {Status::Ok(), total};
+    observe(total, r.status.code());
+    return {std::move(r.status), total};
   }
 
   // Non-blocking: the caller only pays the local cost now; the upload joins
@@ -442,27 +633,93 @@ sim::Timed<Status> Scfs::close_timed(Fd fd) {
   // uplink is shared). The reported delay is the Fig. 5 metric: when the
   // coordination service has recorded this operation. The span's exclusive
   // time therefore covers local work plus queueing behind earlier uploads.
-  clock_->advance_us(local);
+  clock_->advance_us(r.local);
   const sim::SimClock::Micros begin = std::max(clock_->now_us(), bg_complete_us_);
   bg_complete_us_ = begin + recorded;
   const auto reported = bg_complete_us_ - start_us;
-  if (!interceptor_status.ok()) {
-    observe(reported, interceptor_status.code());
-    return {std::move(interceptor_status), reported};
-  }
-  observe(reported, ErrorCode::kOk);
-  return {Status::Ok(), reported};
+  observe(reported, r.status.code());
+  return {std::move(r.status), reported};
 }
 
 Status Scfs::close(Fd fd) { return close_timed(fd).value; }
 
+Status Scfs::flush_path(const std::string& path) {
+  auto entry = wb_.take(path);
+  if (!entry) return {};
+
+  obs::Span span = obs::tracer().span("scfs.wb.flush");
+  span.set_bytes(entry->content.size());
+  CommitJob job;
+  job.path = path;
+  job.log_base = entry->log_base;
+  job.content = entry->content;
+  job.new_version = entry->base_version + 1;
+  job.write_epoch = entry->write_epoch;
+  job.stamp_epoch = entry->stamp_epoch;
+  auto r = commit_job(job, span);
+  const auto total = r.local + r.pipeline + r.meta;
+  clock_->advance_us(total);
+  span.set_duration(static_cast<std::uint64_t>(total));
+  span.set_outcome(r.status.code());
+  wb_flushes_->add();
+  wb_flush_bytes_->add(entry->content.size());
+
+  if (r.status.code() == ErrorCode::kFenced) {
+    // Never serve a fenced writer's dirty entry: the staged bytes die here,
+    // and every cache tier for the path is dropped (including the
+    // optimistically sealed new_version the pipeline wrote before fencing).
+    wb_fenced_->add();
+    if (cache_) cache_->invalidate(path);
+    return std::move(r.status);
+  }
+  if (!r.committed && !r.status.ok()) {
+    // Transient failure (cloud/coordination outage): keep the data — the
+    // entry re-stages and the next flush trigger retries the commit.
+    wb_flush_errors_->add();
+    wb_.restage(path, std::move(*entry));
+    return std::move(r.status);
+  }
+  return std::move(r.status);
+}
+
+Status Scfs::flush(const std::string& path) {
+  if (!wb_.enabled()) return {};
+  return flush_path(path);
+}
+
+Status Scfs::flush_all() {
+  if (!wb_.enabled()) return {};
+  Status first;
+  for (const auto& path : wb_.paths()) {
+    auto st = flush_path(path);
+    if (!st.ok() && first.ok()) first = std::move(st);
+  }
+  return first;
+}
+
+std::size_t Scfs::discard_dirty() { return wb_.discard_all(); }
+
+void Scfs::maybe_flush_due() {
+  if (!wb_.enabled()) return;
+  for (const auto& path : wb_.due_paths(clock_->now_us())) {
+    // A path with a live fd defers: flushing under an open file would let
+    // the staged base advance beneath it and double-commit the version.
+    if (is_open_path(path)) continue;
+    (void)flush_path(path);  // outcomes land in the wb counters
+  }
+}
+
 void Scfs::drain_background() {
+  if (wb_.enabled()) (void)flush_all();
   if (bg_complete_us_ > clock_->now_us()) {
     clock_->advance_us(bg_complete_us_ - clock_->now_us());
   }
 }
 
 Status Scfs::unlink(const std::string& path) {
+  // A staged write to a path being deleted is superseded by the delete:
+  // discard it rather than flush a version nobody can observe.
+  if (wb_.enabled()) (void)wb_.take(path);
   sim::SimClock::Micros delay = local_cost(0);
   auto taken = coordination_->inp(inode_pattern(path));
   delay += taken.delay;
@@ -475,7 +732,10 @@ Status Scfs::unlink(const std::string& path) {
     return {ErrorCode::kNotFound, "scfs: no such file: " + path};
   }
   auto st = parse_inode(**taken.value);
-  cache_.erase(path);
+  if (cache_) {
+    cache_->invalidate(path);
+    cache_->note_missing(path, clock_->now_us());
+  }
   if (st.ok() && st->version > 0) {
     auto rm = storage_->remove(storage_tokens_, unit_for(path));
     delay += rm.delay;
@@ -487,6 +747,10 @@ Status Scfs::unlink(const std::string& path) {
 }
 
 Status Scfs::rename(const std::string& from, const std::string& to) {
+  // Commit any staged write first so the data unit we move is complete.
+  if (wb_.enabled() && wb_.contains(from)) {
+    if (auto st = flush_path(from); !st.ok()) return st;
+  }
   // Read both ends first.
   sim::SimClock::Micros delay = local_cost(0);
   auto src = stat_nocharge(from, &delay);
@@ -526,19 +790,19 @@ Status Scfs::rename(const std::string& from, const std::string& to) {
   s.modified_us = clock_->now_us();
   auto put_meta = coordination_->replace(inode_pattern(to), inode_tuple(s));
   delay += put_meta.delay;
-  auto cached = cache_.extract(from);
-  if (!cached.empty()) {
-    cached.key() = to;
-    cache_.insert(std::move(cached));
-    // The cached transform is path-bound (RockFS MACs include the path), so
-    // invalidate rather than risk a false integrity failure.
-    cache_.erase(to);
+  if (cache_) {
+    // Sealed entries are path-bound (RockFS MACs include the path), so both
+    // ends just invalidate; the next open refills under the new name.
+    cache_->invalidate(from);
+    cache_->invalidate(to);
+    cache_->note_missing(from, clock_->now_us());
   }
   clock_->advance_us(delay);
   return {};
 }
 
 Result<FileStat> Scfs::stat(const std::string& path) {
+  maybe_flush_due();
   sim::SimClock::Micros delay = 0;
   auto st = stat_nocharge(path, &delay);
   clock_->advance_us(delay);
@@ -546,19 +810,24 @@ Result<FileStat> Scfs::stat(const std::string& path) {
 }
 
 Result<std::vector<std::string>> Scfs::readdir(const std::string& prefix) {
+  maybe_flush_due();
   auto all = coordination_->rdall(
       coord::Template::of({kInodeTag, "*", "*", "*", "*", "*", "*"}));
   clock_->advance_us(all.delay);
   if (!all.value.ok()) return Error{all.value.error()};
   std::vector<std::string> out;
   for (const auto& t : *all.value) {
-    if (t.size() >= 2 && t[1].starts_with(prefix)) out.push_back(t[1]);
+    if (t.size() < 2) continue;
+    // Observing a live tuple for a path invalidates its cached miss.
+    if (cache_) cache_->clear_negative(t[1]);
+    if (t[1].starts_with(prefix)) out.push_back(t[1]);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 Status Scfs::lock(const std::string& path) {
+  maybe_flush_due();
   auto& reg = obs::metrics();
   sim::SimClock::Micros delay = 0;
   auto cur = read_lease(*coordination_, path);
@@ -642,6 +911,15 @@ Status Scfs::lock(const std::string& path) {
 }
 
 Status Scfs::unlock(const std::string& path) {
+  if (wb_.enabled() && wb_.contains(path)) {
+    // Close-to-open consistency across the lease handoff: commit the staged
+    // write while the lease still admits it, so the next holder's open
+    // observes it. kFenced means the lease already moved past us — the
+    // entry was dropped and the release below reports the usual conflict.
+    if (auto st = flush_path(path); !st.ok() && st.code() != ErrorCode::kFenced) {
+      return st;  // the lease stays held; the caller can retry
+    }
+  }
   sim::SimClock::Micros delay = 0;
   auto cur = read_lease(*coordination_, path);
   delay += cur.delay;

@@ -7,6 +7,16 @@
 // §2.5). Supports the two sync modes evaluated in the paper: blocking and
 // non-blocking (background upload pipeline).
 //
+// The local cache is a shared ClientCache (cache/cache.h): a sharded LRU
+// data tier of sealed entries, a metadata tier of head versions, and a
+// negative tier for misses. Hit validation (ARCHITECTURE §13.2): a held
+// lease epoch matching the fill epoch serves with ZERO remote rounds;
+// otherwise one coordination round re-proves the version and a matching
+// data entry skips the DepSky fetch. An optional write-back layer
+// (cache/writeback.h) coalesces closes to the same path into one commit of
+// the full close pipeline, so crash-consistency (intent journal) and
+// fencing semantics carry over unchanged.
+//
 // RockFS integration points (used by src/rockfs):
 //   * CacheTransform — encrypt/verify the local cache at open/close (Fig. 4)
 //   * CloseInterceptor — runs the log pipeline concurrently with the file
@@ -20,11 +30,14 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
+#include "cache/writeback.h"
 #include "cloud/provider.h"
 #include "common/result.h"
 #include "coord/service.h"
 #include "depsky/client.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scfs/lease.h"
 #include "sim/faults.h"
 #include "sim/timed.h"
@@ -64,6 +77,14 @@ struct FileStat {
 struct ScfsOptions {
   SyncMode sync_mode = SyncMode::kNonBlocking;
   bool use_cache = true;
+  /// Shared per-user cache handle (survives re-logins; rotation/revocation
+  /// drop it through the agent/deployment hooks). Null + use_cache=true →
+  /// the instance builds a private cache from `cache_config`.
+  cache::ClientCachePtr cache;
+  cache::CacheOptions cache_config;
+  /// Write-back coalescing (off by default: every dirty close commits
+  /// through the full pipeline immediately — the PR 3/PR 4 behavior).
+  cache::WriteBackOptions writeback;
   std::string user_id = "user";
   /// Session id: distinguishes re-logins of the same user. A lease names
   /// (holder, session), so a restarted client cannot silently reuse a lease
@@ -107,16 +128,19 @@ class Scfs {
   // ---- POSIX-style operations (each advances the virtual clock) ----
 
   /// Creates an empty file; fails with kConflict if it already exists.
+  /// Either outcome invalidates a cached kNotFound for the path.
   Result<Fd> create(const std::string& path);
-  /// Opens an existing file, loading it from cache (after integrity checks)
-  /// or from the cloud-of-clouds.
+  /// Opens an existing file, loading it from the staged write-back entry
+  /// (read-your-writes), the validated cache, or the cloud-of-clouds.
   Result<Fd> open(const std::string& path);
   Result<Bytes> read(Fd fd, std::size_t offset, std::size_t length);
   Status write(Fd fd, std::size_t offset, BytesView data);
   /// Appends at the end of the file.
   Status append(Fd fd, BytesView data);
   Status truncate(Fd fd, std::size_t new_size);
-  /// Consistency-on-close: uploads if dirty, then records metadata.
+  /// Consistency-on-close: uploads if dirty, then records metadata. With
+  /// write-back enabled the content is staged instead and commits at the
+  /// next flush trigger (deadline / dirty-bytes cap / flush() / unlock()).
   Status close(Fd fd);
   Status unlink(const std::string& path);
   Status rename(const std::string& from, const std::string& to);
@@ -131,9 +155,11 @@ class Scfs {
   /// dead holder loses the lock and the fencing epoch bumps, so its
   /// stragglers are fenced. Every fresh acquisition bumps the epoch.
   Status lock(const std::string& path);
-  /// Releases the caller's lease. kConflict when another client holds it,
-  /// kNotFound when nobody does. The lease tuple survives in the released
-  /// state: the epoch outlives the lock (monotonicity).
+  /// Releases the caller's lease, FLUSHING any staged write-back entry for
+  /// the path first (close-to-open consistency across a lease handoff: the
+  /// next holder must observe this holder's closes). kConflict when another
+  /// client holds it, kNotFound when nobody does. The lease tuple survives
+  /// in the released state: the epoch outlives the lock (monotonicity).
   Status unlock(const std::string& path);
   /// The lease epoch this client acquired for `path`, if it believes it
   /// holds the lock (stale after an eviction — which is the point).
@@ -141,20 +167,43 @@ class Scfs {
   /// Current lease state of `path` (advances the clock).
   Result<std::optional<Lease>> lease(const std::string& path);
 
+  // ---- write-back control (fsync-style) ----
+
+  /// Commits the staged entry for `path` through the full close pipeline
+  /// (intent → file put ∥ log append → inode). kFenced drops the entry and
+  /// every cache tier for the path: a fenced writer's dirty data must never
+  /// be served again. No-op when nothing is staged.
+  Status flush(const std::string& path);
+  /// Flushes every staged entry in sorted path order; returns the first
+  /// non-ok status (remaining paths are still attempted).
+  Status flush_all();
+  /// Drops every staged entry WITHOUT committing (crash teardown,
+  /// compromise response). Returns the number of entries discarded.
+  std::size_t discard_dirty();
+  std::size_t dirty_entries() const { return wb_.entries(); }
+  std::size_t dirty_bytes() const { return wb_.total_bytes(); }
+
   // ---- sync-mode plumbing ----
 
   /// Close that reports the paper's Fig. 5 latency metric: the virtual time
   /// from close() until the coordination service has recorded the operation
   /// (for non-blocking mode this includes queued background uploads).
   sim::Timed<Status> close_timed(Fd fd);
-  /// Advances the clock until the background upload queue is empty.
+  /// Flushes staged write-backs, then advances the clock until the
+  /// background upload queue is empty.
   void drain_background();
   /// Virtual time at which the background queue drains.
   sim::SimClock::Micros background_complete_us() const noexcept { return bg_complete_us_; }
 
   // ---- RockFS integration ----
 
-  void set_cache_transform(std::shared_ptr<CacheTransform> transform);
+  /// Installs the transform. `drop_entries` clears the cache (the default:
+  /// old representations are unreadable under an unrelated transform); the
+  /// agent passes false when re-installing a transform keyed by the same
+  /// session-key lineage, so a shared cache stays warm across re-logins —
+  /// entries a rotated key cannot unseal fail open and refetch anyway.
+  void set_cache_transform(std::shared_ptr<CacheTransform> transform,
+                           bool drop_entries = true);
   void set_close_interceptor(CloseInterceptor interceptor);
   /// Write-ahead hook, same signature as the interceptor, run BEFORE the
   /// file upload: RockFS persists its log intent here so that every crash
@@ -166,11 +215,14 @@ class Scfs {
   /// (nullable). Crashes propagate as sim::ClientCrash — the agent layer
   /// catches them and drops the session.
   void set_crash_schedule(sim::CrashSchedulePtr crash) { crash_ = std::move(crash); }
-  /// Drops every cached entry (e.g., session key rotation).
+  /// Drops every cached entry, all tiers (e.g., session key rotation).
+  /// Staged write-back entries are NOT discarded (use discard_dirty()).
   void clear_cache();
   /// Direct cache inspection for tests and the attack driver.
   std::optional<Bytes> cached_raw(const std::string& path) const;
   void poke_cache(const std::string& path, Bytes raw);
+  /// The shared cache handle (null when use_cache is off).
+  const cache::ClientCachePtr& cache() const noexcept { return cache_; }
 
   const ScfsOptions& options() const noexcept { return options_; }
   std::shared_ptr<depsky::DepSkyClient> storage() const noexcept { return storage_; }
@@ -196,13 +248,38 @@ class Scfs {
     bool created = false;
   };
 
-  struct CacheEntry {
-    Bytes raw;  // transformed (possibly encrypted) representation
-    std::uint64_t version = 0;
+  /// One write to commit through the close pipeline — built either from a
+  /// dirty close (write-through) or a staged write-back entry (flush).
+  struct CommitJob {
+    std::string path;
+    Bytes log_base;       // cross-user rule already applied
+    Bytes content;
+    std::uint64_t new_version = 0;
+    std::uint64_t write_epoch = kNoFenceEpoch;
+    std::uint64_t stamp_epoch = 0;  // inode epoch when unfenced
   };
+  struct CommitResult {
+    Status status;
+    bool committed = false;             // the inode moved
+    sim::SimClock::Micros local = 0;    // serialized client-side part
+    sim::SimClock::Micros pipeline = 0; // parallel upload pipelines
+    sim::SimClock::Micros meta = 0;     // inode replace round
+  };
+  /// The §2.5 pipeline: crash points, fence pre-flight, cache write-through,
+  /// write-ahead intent, file put ∥ interceptor, inode replace. Composes
+  /// delays without advancing the clock; the caller charges and reports.
+  CommitResult commit_job(const CommitJob& job, obs::Span& span);
 
   sim::SimClock::Micros local_cost(std::size_t bytes) const;
+  /// Cached stat gateway: dirty overlay → lease-validated meta entry →
+  /// negative entry → coordination round (which refills meta/negative).
   Result<FileStat> stat_nocharge(const std::string& path, sim::SimClock::Micros* delay);
+  /// Flushes the staged entry for `path` (advances the clock). The core of
+  /// flush()/flush_all()/maybe_flush_due()/unlock().
+  Status flush_path(const std::string& path);
+  /// Flushes entries past their deadline, skipping currently-open paths.
+  void maybe_flush_due();
+  bool is_open_path(const std::string& path) const;
 
   std::shared_ptr<depsky::DepSkyClient> storage_;
   std::vector<cloud::AccessToken> storage_tokens_;
@@ -214,8 +291,10 @@ class Scfs {
   CloseInterceptor intent_hook_;
   sim::CrashSchedulePtr crash_;
 
+  cache::ClientCachePtr cache_;  // null when use_cache is off
+  cache::WriteBackQueue wb_;
+
   std::map<Fd, OpenFile> open_files_;
-  std::map<std::string, CacheEntry> cache_;
   /// Leases this client believes it holds: path -> acquired epoch. Local
   /// belief only — eviction happens behind our back, and the fencing check
   /// against the coordination service is what catches the divergence.
@@ -223,12 +302,25 @@ class Scfs {
   Fd next_fd_ = 3;
   sim::SimClock::Micros bg_complete_us_ = 0;
 
-  // Cached registry handles for the close() hot path.
+  // Cached registry handles for the hot paths.
   obs::Counter* close_count_ = nullptr;
   obs::Counter* close_bytes_ = nullptr;
   obs::Counter* close_errors_ = nullptr;
   obs::Counter* close_fenced_ = nullptr;
   obs::Histogram* close_delay_us_ = nullptr;
+  obs::Counter* data_hits_ = nullptr;
+  obs::Counter* data_misses_ = nullptr;
+  obs::Counter* unseal_fails_ = nullptr;
+  obs::Counter* meta_hits_ = nullptr;
+  obs::Counter* meta_misses_ = nullptr;
+  obs::Counter* negative_hits_ = nullptr;
+  obs::Counter* wb_dirty_serves_ = nullptr;
+  obs::Counter* wb_flushes_ = nullptr;
+  obs::Counter* wb_flush_bytes_ = nullptr;
+  obs::Counter* wb_fenced_ = nullptr;
+  obs::Counter* wb_flush_errors_ = nullptr;
+  obs::Histogram* open_hit_us_ = nullptr;
+  obs::Histogram* open_miss_us_ = nullptr;
 };
 
 }  // namespace rockfs::scfs
